@@ -1,0 +1,51 @@
+// E1 (Theorem 15): approximation ratio versus eps, dual-primal against the
+// baselines and the exact optimum. Expected shape: dual-primal ratio is
+// close to 1 and improves as eps shrinks; greedy sits near its 1/2..0.9
+// band; filtering is a constant factor below dual-primal.
+
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "matching/blossom_weighted.hpp"
+#include "matching/greedy.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E1 approx-vs-eps (Theorem 15)",
+                "ratio to exact optimum vs eps; dual-primal should approach "
+                "1 as eps shrinks and dominate greedy/filtering");
+
+  const std::size_t n = 150;
+  const std::size_t m = 2000;
+  Graph g = gen::gnm(n, m, 11);
+  gen::weight_uniform(g, 1.0, 64.0, 12);
+  const double opt = max_weight_matching(g).weight(g);
+
+  const double greedy = greedy_matching(g).weight(g);
+  const double ps = baselines::paz_schwartzman_matching(g, 0.05).weight(g);
+  const double filt = baselines::filtering_matching(g, 2.0, 3).weight(g);
+
+  std::printf("n=%zu m=%zu exact_opt=%.1f\n", n, m, opt);
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "eps", "dual-primal",
+              "certified", "greedy", "local-ratio", "filtering");
+  bench::row_labels({"eps", "dual_primal_ratio", "certified_ratio",
+                     "greedy_ratio", "ps_ratio", "filtering_ratio"});
+  for (double eps : {0.3, 0.25, 0.2, 0.15, 0.1}) {
+    core::SolverOptions opts;
+    opts.eps = eps;
+    opts.p = 2.0;
+    opts.seed = 21;
+    opts.max_outer_rounds = 8;
+    opts.sparsifiers_per_round = 6;
+    const auto result = core::solve_matching(g, opts);
+    std::printf("%-8.2f %12.4f %12.4f %12.4f %12.4f %12.4f\n", eps,
+                result.value / opt, result.certified_ratio, greedy / opt,
+                ps / opt, filt / opt);
+    bench::row({eps, result.value / opt, result.certified_ratio,
+                greedy / opt, ps / opt, filt / opt});
+  }
+  return 0;
+}

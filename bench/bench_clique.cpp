@@ -1,0 +1,47 @@
+// E10 (Section 1, congested clique): per-vertex sketch message size.
+// Expected shape: words per vertex grow polylogarithmically in n (each
+// round ships one l0-sampler per vertex; the matching algorithm ships
+// n^{1/p} of them).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "sketch/agm.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E10 congested clique (Section 1)",
+                "sketch words per vertex vs n: polylog growth (slope in "
+                "log-log well below 1)");
+
+  std::printf("%-8s %-10s %16s %16s\n", "n", "m", "words_total",
+              "words_per_vertex");
+  bench::row_labels({"n", "m", "words_total", "words_per_vertex"});
+  std::vector<double> ns, per_vertex;
+  for (std::size_t n : {64, 128, 256, 512, 1024}) {
+    const std::size_t m = 8 * n;
+    const Graph g = gen::gnm(n, m, n + 1);
+    Rng rng(n + 2);
+    const int levels =
+        2 * static_cast<int>(std::ceil(std::log2(static_cast<double>(n)))) +
+        2;
+    const L0SamplerSeed seed(levels, 6, rng);
+    ResourceMeter meter;
+    const AgmSketch sketch(g, seed, &meter);
+    const double wpv = static_cast<double>(meter.sketch_words()) /
+                       static_cast<double>(n);
+    std::printf("%-8zu %-10zu %16zu %16.1f\n", n, m, meter.sketch_words(),
+                wpv);
+    bench::row({static_cast<double>(n), static_cast<double>(m),
+                static_cast<double>(meter.sketch_words()), wpv});
+    ns.push_back(static_cast<double>(n));
+    per_vertex.push_back(wpv);
+  }
+  std::printf("-> words/vertex log-log slope %.3f (polylog: << 1)\n",
+              loglog_slope(ns, per_vertex));
+  return 0;
+}

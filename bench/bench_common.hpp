@@ -1,0 +1,28 @@
+#pragma once
+// Shared table-printing helpers for the experiment harness. Every bench
+// binary regenerates one experiment row-set from EXPERIMENTS.md: it prints
+// a human-readable table plus machine-parseable CSV lines prefixed "CSV,".
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dp::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("==== %s ====\n%s\n\n", experiment.c_str(), claim.c_str());
+}
+
+inline void row_labels(const std::vector<std::string>& cols) {
+  std::printf("CSV");
+  for (const auto& c : cols) std::printf(",%s", c.c_str());
+  std::printf("\n");
+}
+
+inline void row(const std::vector<double>& values) {
+  std::printf("CSV");
+  for (double v : values) std::printf(",%.6g", v);
+  std::printf("\n");
+}
+
+}  // namespace dp::bench

@@ -1,0 +1,54 @@
+// E6 (Lemma 12/21): quality of the initial dual solution. Expected shape:
+// coverage is exactly eps/256; the normalized budget beta0 lands in
+// [beta*/a, beta*/2] with a = O(eps^-2); O(p) sampling rounds.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/dual_state.hpp"
+#include "core/initial.hpp"
+#include "core/weight_levels.hpp"
+#include "graph/generators.hpp"
+#include "matching/blossom_weighted.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E6 initial dual (Lemma 12/21)",
+                "coverage = eps/256; beta0 within [beta*/a, beta*/2] "
+                "normalized; O(p) rounds");
+
+  std::printf("%-8s %-8s %10s %14s %14s %8s\n", "n", "eps", "coverage",
+              "beta0/beta*", "bound[1/a,0.5]", "rounds");
+  bench::row_labels({"n", "eps", "coverage", "beta0_over_betastar",
+                     "a_inv", "rounds"});
+  for (std::size_t n : {60, 120, 240}) {
+    for (double eps : {0.25, 0.125}) {
+      Graph g = gen::gnm(n, 6 * n, n + 1);
+      gen::weight_uniform(g, 1.0, 16.0, n + 2);
+      const Capacities b = Capacities::unit(n);
+      const core::LevelGraph lg(g, b, eps);
+      ResourceMeter meter;
+      const auto init = core::build_initial(lg, b, 2.0, 5, &meter);
+
+      // beta* proxy in normalized units: exact matching on discretized
+      // weights.
+      Graph normalized(n);
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (lg.level(e) >= 0) {
+          normalized.add_edge(g.edge(e).u, g.edge(e).v,
+                              lg.normalized_weight(e));
+        }
+      }
+      const double beta_star =
+          n <= 240 ? max_weight_matching(normalized).weight(normalized)
+                   : 0.0;
+      const double ratio = beta_star > 0 ? init.beta0 / beta_star : 0.0;
+      const double a_inv = eps * eps / 2048.0;
+      std::printf("%-8zu %-8.3f %10.5f %14.5f %14.5f %8zu\n", n, eps,
+                  init.coverage, ratio, a_inv, init.rounds);
+      bench::row({static_cast<double>(n), eps, init.coverage, ratio, a_inv,
+                  static_cast<double>(init.rounds)});
+    }
+  }
+  return 0;
+}

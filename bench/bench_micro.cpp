@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate kernels:
+// greedy matching, local search, strength estimation, sparsifier
+// construction, l0-sampler updates, and union-find. These support the E5
+// runtime claims with per-kernel numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+#include "matching/approx.hpp"
+#include "matching/greedy.hpp"
+#include "sketch/l0sampler.hpp"
+#include "sparsify/cut_sparsifier.hpp"
+#include "sparsify/strength.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_GreedyMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::Graph g = dp::gen::gnm(n, 8 * n, 1);
+  dp::gen::weight_uniform(g, 1.0, 10.0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::greedy_matching(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_GreedyMatching)->Arg(1000)->Arg(4000);
+
+void BM_LocalSearchMatching(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dp::Graph g = dp::gen::gnm(n, 8 * n, 3);
+  dp::gen::weight_uniform(g, 1.0, 10.0, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::local_search_matching(g, 8, 5));
+  }
+}
+BENCHMARK(BM_LocalSearchMatching)->Arg(1000)->Arg(4000);
+
+void BM_StrengthEstimation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dp::Graph g = dp::gen::gnm(n, 8 * n, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dp::estimate_strengths(n, g.edges(), 7));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_StrengthEstimation)->Arg(1000)->Arg(4000);
+
+void BM_CutSparsify(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dp::Graph g = dp::gen::gnm(n, 8 * n, 8);
+  dp::SparsifierOptions opt;
+  opt.xi = 0.2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::cut_sparsify(g, opt, 9));
+  }
+}
+BENCHMARK(BM_CutSparsify)->Arg(1000)->Arg(4000);
+
+void BM_L0SamplerUpdate(benchmark::State& state) {
+  dp::Rng rng(10);
+  const dp::L0SamplerSeed seed(24, 8, rng);
+  dp::L0Sampler sampler(seed);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    sampler.update(i++ % (1 << 20), 1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_L0SamplerUpdate);
+
+void BM_UnionFind(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const dp::Graph g = dp::gen::gnm(n, 8 * n, 11);
+  for (auto _ : state) {
+    dp::UnionFind uf(n);
+    for (const dp::Edge& e : g.edges()) uf.unite(e.u, e.v);
+    benchmark::DoNotOptimize(uf.num_components());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_UnionFind)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// E2 (Theorem 1/15): number of adaptive sampling rounds. We measure the
+// round at which the incumbent integral solution reaches (1-eps) of its
+// final value under a fixed round budget. Expected shape: convergence
+// rounds flat in n (the paper's point: adaptivity is O(p/eps), independent
+// of the graph size) and weakly increasing as eps shrinks.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E2 rounds (Theorem 1/15)",
+                "sampling rounds to reach (1-eps) of the final value: flat "
+                "in n; total adaptive rounds bounded by O(p/eps)");
+
+  std::printf("%-8s %-8s %14s %12s %10s %12s\n", "n", "eps", "conv_round",
+              "total_rounds", "oracle", "certified");
+  bench::row_labels({"n", "eps", "conv_round", "total_rounds",
+                     "oracle_calls", "certified_ratio"});
+  for (std::size_t n : {100, 200, 400, 800}) {
+    for (double eps : {0.25, 0.15}) {
+      Graph g = gen::gnm(n, 8 * n, n + 5);
+      gen::weight_uniform(g, 1.0, 16.0, n + 6);
+      core::SolverOptions opts;
+      opts.eps = eps;
+      opts.p = 2.0;
+      opts.seed = 3;
+      opts.max_outer_rounds = 12;
+      opts.sparsifiers_per_round = 4;
+      const auto result = core::solve_matching(g, opts);
+      std::size_t conv_round = result.history.size();
+      for (const auto& rs : result.history) {
+        if (rs.best_value >= (1.0 - eps) * result.value) {
+          conv_round = rs.round;
+          break;
+        }
+      }
+      std::printf("%-8zu %-8.2f %14zu %12zu %10zu %12.4f\n", n, eps,
+                  conv_round, result.meter.rounds(), result.oracle_calls,
+                  result.certified_ratio);
+      bench::row({static_cast<double>(n), eps,
+                  static_cast<double>(conv_round),
+                  static_cast<double>(result.meter.rounds()),
+                  static_cast<double>(result.oracle_calls),
+                  result.certified_ratio});
+    }
+  }
+  return 0;
+}

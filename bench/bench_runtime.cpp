@@ -1,0 +1,44 @@
+// E5 (Theorem 15): running time vs m at fixed eps and p. Expected shape:
+// near-linear growth in m (the paper claims O(m poly(1/eps, log n))).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E5 runtime (Theorem 15)",
+                "wall seconds vs m at fixed n, eps, p; expect near-linear "
+                "growth in m");
+
+  std::printf("%-10s %-10s %12s %12s\n", "n", "m", "seconds", "ratio");
+  bench::row_labels({"n", "m", "seconds", "certified_ratio"});
+  std::vector<double> ms, secs;
+  const std::size_t n = 600;
+  for (std::size_t m : {3000, 6000, 12000, 24000}) {
+    Graph g = gen::gnm(n, m, m + 1);
+    gen::weight_uniform(g, 1.0, 16.0, m + 2);
+    core::SolverOptions opts;
+    opts.eps = 0.25;
+    opts.p = 2.0;
+    opts.seed = 13;
+    opts.max_outer_rounds = 4;
+    opts.sparsifiers_per_round = 3;
+    WallTimer timer;
+    const auto result = core::solve_matching(g, opts);
+    const double sec = timer.seconds();
+    std::printf("%-10zu %-10zu %12.3f %12.4f\n", n, m, sec,
+                result.certified_ratio);
+    bench::row({static_cast<double>(n), static_cast<double>(m), sec,
+                result.certified_ratio});
+    ms.push_back(static_cast<double>(m));
+    secs.push_back(sec);
+  }
+  std::printf("-> time-vs-m log-log slope %.3f (near-linear target ~1)\n",
+              loglog_slope(ms, secs));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// E11 (Section 1 / Figure 1): the motivating example for deferral —
+// sketch-based connectivity computes all sketches in ONE sampling round and
+// then uses them in O(log n) data-free steps. Expected shape: success on
+// every instance, use_steps ~ log2(n), sampling_rounds = 1.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sketch/spanning_forest.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E11 sketch connectivity (Section 1 / Fig 1)",
+                "1 sampling round; O(log n) deferred use steps; exact "
+                "component counts");
+
+  std::printf("%-8s %-10s %10s %10s %10s %12s\n", "n", "m", "true_cc",
+              "sketch_cc", "use_steps", "log2(n)");
+  bench::row_labels({"n", "m", "true_cc", "sketch_cc", "use_steps",
+                     "log2n"});
+  for (std::size_t n : {64, 128, 256, 512}) {
+    // Disconnected instance: a few clusters.
+    const std::size_t clusters = 4;
+    Graph g(n);
+    const std::size_t per = n / clusters;
+    for (std::size_t c = 0; c < clusters; ++c) {
+      const Graph cluster = gen::gnm(per, 3 * per, n + c);
+      for (const Edge& e : cluster.edges()) {
+        g.add_edge(static_cast<Vertex>(c * per + e.u),
+                   static_cast<Vertex>(c * per + e.v));
+      }
+      for (Vertex i = 0; i + 1 < per; ++i) {  // keep cluster connected
+        g.add_edge(static_cast<Vertex>(c * per + i),
+                   static_cast<Vertex>(c * per + i + 1));
+      }
+    }
+    const std::size_t truth = num_components(g);
+    ResourceMeter meter;
+    const auto result = sketch_spanning_forest(g, n + 5, &meter);
+    std::printf("%-8zu %-10zu %10zu %10zu %10zu %12.1f\n", n,
+                g.num_edges(), truth, result.components, result.use_steps,
+                std::log2(static_cast<double>(n)));
+    bench::row({static_cast<double>(n),
+                static_cast<double>(g.num_edges()),
+                static_cast<double>(truth),
+                static_cast<double>(result.components),
+                static_cast<double>(result.use_steps),
+                std::log2(static_cast<double>(n))});
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E3 (Theorem 15): central space O(n^{1+1/p}). We measure the peak number
+// of stored edges per round against n for p in {2, 3, 4} and report the
+// log-log slope; expected shape: slope ~ 1 + 1/p (and always sublinear
+// in m ~ n^{1.5}).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+
+int main() {
+  using namespace dp;
+  bench::header("E3 space (Theorem 15)",
+                "peak stored edges vs n for p=2,3,4 on m~4n^1.25 graphs; "
+                "log-log slope should fall with 1+1/p and stay below the "
+                "slope of m");
+
+  bench::row_labels({"p", "n", "m", "peak_edges"});
+  std::printf("%-6s %-8s %-10s %14s\n", "p", "n", "m", "peak_edges");
+  for (double p : {2.0, 3.0, 4.0}) {
+    std::vector<double> ns, peaks;
+    for (std::size_t n : {200, 400, 800, 1600}) {
+      const auto m = static_cast<std::size_t>(
+          3.0 * std::pow(static_cast<double>(n), 1.4));
+      Graph g = gen::gnm(n, m, n + 17);
+      gen::weight_uniform(g, 1.0, 8.0, n + 18);
+      core::SolverOptions opts;
+      opts.eps = 0.25;
+      opts.p = p;
+      opts.seed = 9;
+      opts.max_outer_rounds = 2;       // space is a per-round quantity
+      opts.sparsifiers_per_round = 3;
+      const auto result = core::solve_matching(g, opts);
+      const auto peak = static_cast<double>(result.meter.peak_edges());
+      std::printf("%-6.0f %-8zu %-10zu %14.0f\n", p, n, m, peak);
+      bench::row({p, static_cast<double>(n), static_cast<double>(m), peak});
+      ns.push_back(static_cast<double>(n));
+      peaks.push_back(peak);
+    }
+    std::printf("  -> measured slope %.3f (paper budget exponent %.3f; "
+                "m slope is 1.4)\n",
+                loglog_slope(ns, peaks), 1.0 + 1.0 / p);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+#pragma once
+// Baseline algorithms the paper compares against (Section 1 / related work).
+//
+//  * filtering_matching — Lattanzi et al. SPAA'11: per-weight-class maximal
+//    matchings via iterative uniform sampling (O(p) rounds, n^{1+1/p}
+//    space), combined greedily from the heaviest class down. O(1)-approx.
+//  * streaming_greedy_matching — one-pass maximal matching (1/2 for
+//    cardinality; unbounded for weights).
+//  * paz_schwartzman_matching — one-pass local-ratio weighted matching,
+//    (1/2 - eps)-approximation with O(n log n) space.
+//  * improvement_matching — McGregor'05-style one-pass: replace conflicting
+//    matched edges when the newcomer is a (1+gamma) factor heavier.
+//  * sample_and_solve — uniform n^{1+1/p} edge sample, offline solver on the
+//    sample; the strawman the paper's iterative sampling refines.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "matching/matching.hpp"
+#include "util/accounting.hpp"
+
+namespace dp::baselines {
+
+/// Lattanzi et al. filtering. `p` controls the per-round budget n^{1+1/p}.
+Matching filtering_matching(const Graph& g, double p, std::uint64_t seed,
+                            ResourceMeter* meter = nullptr);
+
+/// b-matching variant with the saturation rule of Lemma 20.
+BMatching filtering_b_matching(const Graph& g, const Capacities& b, double p,
+                               std::uint64_t seed,
+                               ResourceMeter* meter = nullptr);
+
+/// One-pass maximal matching in stream order.
+Matching streaming_greedy_matching(const Graph& g,
+                                   ResourceMeter* meter = nullptr);
+
+/// One-pass local-ratio (Paz-Schwartzman). eps controls the potential
+/// threshold (accept when w_e > (1+eps)(phi_u + phi_v)); eps = 0 gives the
+/// classic 1/2-ish behaviour.
+Matching paz_schwartzman_matching(const Graph& g, double eps = 0.0,
+                                  ResourceMeter* meter = nullptr);
+
+/// One-pass improvement matching: a new edge evicts its (at most two)
+/// conflicting matched edges when w_e > (1+gamma) * (their weight).
+Matching improvement_matching(const Graph& g, double gamma = 0.0,
+                              ResourceMeter* meter = nullptr);
+
+/// Uniform sample of ceil(n^{1+1/p}) edges + offline solve on the sample.
+Matching sample_and_solve(const Graph& g, double p, std::uint64_t seed,
+                          ResourceMeter* meter = nullptr);
+
+/// McGregor'05-style multi-pass streaming matching: start from one-pass
+/// maximal, then improvement passes (each pass evicts matched edges for
+/// (1+gamma)-heavier newcomers) until a pass makes no progress or
+/// `max_passes` is hit. The paper cites this as the 2^{O(1/eps)}-iteration
+/// prior art the dual-primal scheme improves on.
+Matching multipass_matching(const Graph& g, double gamma,
+                            std::size_t max_passes,
+                            ResourceMeter* meter = nullptr);
+
+}  // namespace dp::baselines

@@ -1,0 +1,97 @@
+#include "core/certificate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dp::core {
+
+CertificateReport extract_certificate(const DualState& state,
+                                      const LevelGraph& lg,
+                                      const Capacities& b) {
+  CertificateReport report;
+  const Graph& g = lg.graph();
+  const double eps = lg.eps();
+  const double lambda = state.lambda(lg);
+  report.lambda = lambda;
+  if (lambda <= 1e-12) return report;  // no usable certificate yet
+
+  // Scale: normalized dual values -> original weights. Each retained edge
+  // has original weight < scale * (1+eps) * wHat_level, so multiplying the
+  // normalized duals by scale*(1+eps)/lambda covers all retained edges.
+  // Dropped edges (below the level floor) are covered by adding
+  // eps*W*/(2) ... distributed as uniform vertex potential eps*W*/B per
+  // unit of capacity: x_i += b_i * floor_value covers every dropped edge
+  // since w_dropped < scale = eps W*/B <= x_u + x_v for b >= 1.
+  const double factor = lg.scale() * (1.0 + eps) / lambda;
+  const double floor_value = lg.scale();
+
+  report.dual.x.assign(g.num_vertices(), 0.0);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    report.dual.x[v] =
+        state.x_max(static_cast<Vertex>(v)) * factor + floor_value;
+  }
+  // z_U = sum over levels of z_{U,l}; merge identical member sets.
+  std::map<std::vector<Vertex>, double> merged;
+  const auto& sets = state.odd_sets();
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    const double value = state.odd_set_value(s) * factor;
+    if (value > 0) merged[sets[s].members] += value;
+  }
+  for (auto& [members, value] : merged) {
+    report.dual.sets.push_back(members);
+    report.dual.z.push_back(value);
+  }
+
+  report.feasible = dual_feasible(g, report.dual, 1e-7 * (1.0 + lg.w_star()));
+  report.bound = dual_objective(b, report.dual);
+  return report;
+}
+
+OddSetDual greedy_witness_dual(const Graph& g) {
+  OddSetDual dual;
+  dual.x.assign(g.num_vertices(), 0.0);
+  // Weight-sorted greedy; both endpoints of a taken edge get its weight.
+  std::vector<EdgeId> order(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) order[e] = e;
+  std::stable_sort(order.begin(), order.end(), [&](EdgeId a, EdgeId c) {
+    return g.edge(a).w > g.edge(c).w;
+  });
+  std::vector<char> used(g.num_vertices(), 0);
+  for (EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    if (!used[edge.u] && !used[edge.v]) {
+      used[edge.u] = used[edge.v] = 1;
+      dual.x[edge.u] = edge.w;
+      dual.x[edge.v] = edge.w;
+    }
+  }
+  return dual;
+}
+
+OddSetDual incident_witness_dual(const Graph& g) {
+  OddSetDual dual;
+  dual.x.assign(g.num_vertices(), 0.0);
+  for (const Edge& e : g.edges()) {
+    dual.x[e.u] = std::max(dual.x[e.u], e.w / 2.0);
+    dual.x[e.v] = std::max(dual.x[e.v], e.w / 2.0);
+  }
+  return dual;
+}
+
+double best_dual_bound(const DualState& state, const LevelGraph& lg,
+                       const Capacities& b) {
+  const Graph& g = lg.graph();
+  double best = g.total_weight();  // trivial fallback
+  const CertificateReport report = extract_certificate(state, lg, b);
+  if (report.feasible) best = std::min(best, report.bound);
+  for (const OddSetDual& witness :
+       {greedy_witness_dual(g), incident_witness_dual(g)}) {
+    if (dual_feasible(g, witness, 1e-9 * (1.0 + lg.w_star()))) {
+      best = std::min(best, dual_objective(b, witness));
+    }
+  }
+  return best;
+}
+
+}  // namespace dp::core

@@ -1,0 +1,134 @@
+#include "core/dual_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp::core {
+
+namespace {
+
+std::uint64_t set_key(const OddSetVar& var) {
+  // FNV-1a over (level, members).
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(var.level));
+  for (Vertex v : var.members) mix(v + 1);
+  return h;
+}
+
+}  // namespace
+
+DualState::DualState(std::size_t n, int num_levels)
+    : n_(n), levels_(num_levels), xi_(n, 0.0), sets_at_(n) {}
+
+double DualState::x(Vertex i, int k) const noexcept {
+  const auto it = xik_.find(static_cast<std::uint64_t>(i) * levels_ + k);
+  return it == xik_.end() ? 0.0 : it->second * scale_;
+}
+
+double DualState::cover_row(Vertex i, Vertex j, int k) const {
+  double row = x(i, k) + x(j, k);
+  // Per-level odd-set families are disjoint within one oracle output but may
+  // overlap across outputs; iterate i's sets and test j's membership.
+  const auto& at_i = sets_at_[i];
+  for (std::uint32_t s : at_i) {
+    const OddSetVar& var = sets_[s];
+    if (var.level > k) continue;
+    if (std::binary_search(var.members.begin(), var.members.end(), j)) {
+      row += var.value * scale_;
+    }
+  }
+  return row;
+}
+
+double DualState::po_row(Vertex i, int k) const {
+  double row = 2.0 * x(i, k);
+  for (std::uint32_t s : sets_at_[i]) {
+    if (sets_[s].level <= k) row += sets_[s].value * scale_;
+  }
+  return row;
+}
+
+double DualState::objective(const Capacities& b) const {
+  double total = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    total += static_cast<double>(b[static_cast<Vertex>(i)]) * xi_[i];
+  }
+  for (const OddSetVar& var : sets_) {
+    std::int64_t bw = 0;
+    for (Vertex v : var.members) bw += b[v];
+    total += std::floor(static_cast<double>(bw) / 2.0) * var.value;
+  }
+  return total * scale_;
+}
+
+double DualState::lambda(const LevelGraph& lg) const {
+  double best = 1e300;
+  bool any = false;
+  for (EdgeId e : lg.retained()) {
+    const Edge& edge = lg.graph().edge(e);
+    const int k = lg.level(e);
+    const double row = cover_row(edge.u, edge.v, k);
+    best = std::min(best, row / lg.level_weight(k));
+    any = true;
+  }
+  return any ? best : 0.0;
+}
+
+void DualState::add_odd_set(const OddSetVar& var, double factor) {
+  const double raw = var.value * factor / scale_;
+  if (raw <= 0) return;
+  const std::uint64_t key = set_key(var);
+  const auto it = set_index_.find(key);
+  if (it != set_index_.end()) {
+    OddSetVar& existing = sets_[it->second];
+    if (existing.level == var.level && existing.members == var.members) {
+      existing.value += raw;
+      return;
+    }
+    // Hash collision with different content: fall through to append (the
+    // index keeps the first entry; correctness is unaffected, only dedup).
+  }
+  const auto id = static_cast<std::uint32_t>(sets_.size());
+  sets_.push_back(OddSetVar{var.level, var.members, raw});
+  for (Vertex v : var.members) sets_at_[v].push_back(id);
+  set_index_.emplace(key, id);
+}
+
+void DualState::blend(const DualPoint& p, double sigma) {
+  scale_ *= (1.0 - sigma);
+  if (scale_ < 1e-280) {
+    // Re-normalize to avoid underflow: fold the scale into the raw values.
+    for (auto& [key, value] : xik_) value *= scale_;
+    for (double& value : xi_) value *= scale_;
+    for (OddSetVar& var : sets_) var.value *= scale_;
+    scale_ = 1.0;
+  }
+  // x_i(k) and the per-vertex maxima of the incoming point.
+  std::vector<double> point_xi(n_, 0.0);
+  for (const auto& [key, value] : p.xik) {
+    if (value <= 0) continue;
+    xik_[key] += sigma * value / scale_;
+    const auto i = static_cast<std::size_t>(key / levels_);
+    point_xi[i] = std::max(point_xi[i], value);
+  }
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (point_xi[i] > 0) xi_[i] += sigma * point_xi[i] / scale_;
+  }
+  for (const OddSetVar& var : p.odd_sets) add_odd_set(var, sigma);
+}
+
+void DualState::assign(const DualPoint& p) {
+  scale_ = 1.0;
+  xik_.clear();
+  std::fill(xi_.begin(), xi_.end(), 0.0);
+  sets_.clear();
+  set_index_.clear();
+  for (auto& at : sets_at_) at.clear();
+  blend(p, 1.0);
+}
+
+}  // namespace dp::core

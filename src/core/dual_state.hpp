@@ -1,0 +1,93 @@
+#pragma once
+// The dual iterate of the layered penalty LP (LP5/LP10): per-vertex,
+// per-level costs x_i(k), per-vertex maxima x_i, and odd-set variables
+// z_{U,l}. The fractional covering loop of Theorem 5 maintains this state as
+// a running convex combination of MicroOracle outputs; a global scale factor
+// makes each blend O(|new support|) instead of O(|total support|).
+//
+// Covering rows (one per retained edge (i,j) at level k):
+//   x_i(k) + x_j(k) + sum_{l <= k} sum_{U in Os: i,j in U} z_{U,l} >= wHat_k
+// Outer packing rows (one per (i,k) with edges at that level):
+//   2 x_i(k) + sum_{l <= k} sum_{U in Os: i in U} z_{U,l} <= 3 wHat_k
+// Dual objective (upper-bounds the matching weight once rows are covered):
+//   sum_i b_i x_i + sum_{U,l} floor(||U||_b / 2) z_{U,l}.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/weight_levels.hpp"
+#include "graph/graph.hpp"
+
+namespace dp::core {
+
+/// One odd-set dual variable z_{U, level} = value (raw; effective value is
+/// raw * state scale).
+struct OddSetVar {
+  int level = 0;
+  std::vector<Vertex> members;  // sorted
+  double value = 0.0;           // raw value
+};
+
+/// A sparse dual point as produced by one MicroOracle call (unscaled).
+struct DualPoint {
+  /// (i, k) -> x_i(k); keys are i * num_levels + k.
+  std::unordered_map<std::uint64_t, double> xik;
+  std::vector<OddSetVar> odd_sets;
+};
+
+class DualState {
+ public:
+  DualState(std::size_t n, int num_levels);
+
+  std::size_t num_vertices() const noexcept { return n_; }
+  int num_levels() const noexcept { return levels_; }
+
+  /// Effective x_i(k).
+  double x(Vertex i, int k) const noexcept;
+
+  /// Effective x_i = max_k x_i(k).
+  double x_max(Vertex i) const noexcept { return xi_[i] * scale_; }
+
+  /// Covering row value for edge (i, j) at level k (see file comment).
+  double cover_row(Vertex i, Vertex j, int k) const;
+
+  /// Outer packing row for (i, k): 2 x_i(k) + z-sum over sets containing i.
+  double po_row(Vertex i, int k) const;
+
+  /// Dual objective sum b_i x_i + sum floor(||U||_b/2) z_{U,l}.
+  double objective(const Capacities& b) const;
+
+  /// lambda = min over retained edges of cover_row / wHat_level. Returns 0
+  /// for an empty edge set.
+  double lambda(const LevelGraph& lg) const;
+
+  /// Blend in an oracle output: state <- (1 - sigma) * state + sigma * p.
+  void blend(const DualPoint& p, double sigma);
+
+  /// Replace the state with a fresh point (used for the initial solution).
+  void assign(const DualPoint& p);
+
+  /// Number of distinct odd-set variables currently in the support.
+  std::size_t odd_set_support() const noexcept { return sets_.size(); }
+
+  /// Effective z value of stored set s (for inspection/tests).
+  const std::vector<OddSetVar>& odd_sets() const noexcept { return sets_; }
+  double odd_set_value(std::size_t s) const noexcept {
+    return sets_[s].value * scale_;
+  }
+
+ private:
+  void add_odd_set(const OddSetVar& var, double factor);
+
+  std::size_t n_;
+  int levels_;
+  double scale_ = 1.0;
+  std::unordered_map<std::uint64_t, double> xik_;  // raw
+  std::vector<double> xi_;                         // raw max per vertex
+  std::vector<OddSetVar> sets_;                    // raw values
+  std::vector<std::vector<std::uint32_t>> sets_at_;  // vertex -> set ids
+  std::unordered_map<std::uint64_t, std::uint32_t> set_index_;  // dedup key
+};
+
+}  // namespace dp::core

@@ -1,0 +1,42 @@
+#pragma once
+// Initial dual solution — Lemmas 12, 20 and 21 of the paper.
+//
+// For every weight level k a maximal b-matching M_k of EHat_k is built by
+// iterative uniform sampling with per-round budget O(n^{1+1/(2p)}) — the
+// Lattanzi et al. SPAA'11 filtering scheme extended to b-matching by the
+// saturation rule (Lemma 20: a chosen edge's multiplicity is raised until an
+// endpoint saturates, so the residual vertex set shrinks like the unmatched
+// set of the original analysis). Saturated vertices then receive
+// x_i(k) = (eps/256) wHat_k, giving a dual start with
+//   A x0 >= (eps/256) c   and   beta*/a <= b^T x0 <= beta*/2,  a = O(eps^-2).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dual_state.hpp"
+#include "core/weight_levels.hpp"
+#include "util/accounting.hpp"
+
+namespace dp::core {
+
+struct InitialSolution {
+  DualPoint x0;
+  /// Normalized dual objective of x0 (the beta_0 of Theorem 3).
+  double beta0 = 0;
+  /// Coverage guarantee: A x0 >= coverage * c (the paper's 1 - eps_0).
+  double coverage = 0;
+  /// Union of the per-level maximal b-matching edges (the first stored
+  /// subgraph the driver hands to the offline solver).
+  std::vector<EdgeId> support;
+  /// Sampling rounds consumed.
+  std::size_t rounds = 0;
+};
+
+/// Build the initial solution. `p` is the space exponent (> 1): each level
+/// samples at most ceil(n^{1 + 1/(2p)}) edges per round, and all levels
+/// advance within the same round (they are independent MapReduce jobs).
+InitialSolution build_initial(const LevelGraph& lg, const Capacities& b,
+                              double p, std::uint64_t seed,
+                              ResourceMeter* meter = nullptr);
+
+}  // namespace dp::core

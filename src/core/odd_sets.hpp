@@ -1,0 +1,47 @@
+#pragma once
+// Dense odd-set separation — Lemmas 16, 24 and 25 of the paper.
+//
+// Given non-negative edge values q_ij and vertex values qHat_i with
+// sum_j q_ij <= qHat_i, find a maximal collection of MUTUALLY DISJOINT odd
+// sets U (||U||_b odd, 3 <= |U|, ||U||_b <= 4/eps) whose internal q-mass is
+// large:  sum_{(i,j) in U} q_ij >= (sum_{i in U} qHat_i - 1) / 2.
+//
+// Following Lemma 24, values are discretized by 8 eps^-3 into an auxiliary
+// unweighted multigraph H with a special node s absorbing each vertex's
+// deficiency qHat_i - sum_j q_ij; dense odd sets are exactly the odd cuts of
+// H with capacity below kappa = floor(8 eps^-3), found Padberg-Rao style on
+// a Gomory-Hu tree of H (Lemma 25). Above the configured size limit an
+// exhaustive tree search is replaced by a component/triangle heuristic —
+// missing a set only slows dual progress, it never breaks soundness because
+// the MicroOracle revalidates Equation (4) for every candidate.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dp::core {
+
+struct OddSetQueryEdge {
+  Vertex u;
+  Vertex v;
+  double q;
+};
+
+struct OddSetOptions {
+  double eps = 0.1;
+  /// Max ||U||_b of a returned set (0 = use 4/eps).
+  std::int64_t max_set_b = 0;
+  /// Use the exact Gomory-Hu search only when the number of active vertices
+  /// is at most this; otherwise use the heuristic finder.
+  std::size_t gomory_hu_limit = 1200;
+};
+
+/// Disjoint dense odd sets (each sorted by vertex id). `q_hat` must have one
+/// entry per vertex (entries for inactive vertices are ignored).
+std::vector<std::vector<Vertex>> find_dense_odd_sets(
+    std::size_t n, const std::vector<OddSetQueryEdge>& q_edges,
+    const std::vector<double>& q_hat, const Capacities& b,
+    const OddSetOptions& options);
+
+}  // namespace dp::core

@@ -1,0 +1,104 @@
+#pragma once
+// The MicroOracle — Algorithm 5 / Lemma 14 of the paper — and the
+// MiniOracle wrapper (Lemma 10) that binary-searches the Lagrange
+// multiplier rho and convex-combines two MicroOracle outputs so that the
+// outer packing constraint z^T Po x <= (13/12) z^T qo holds.
+//
+// Given stored-edge multipliers us (from a refined deferred sparsifier),
+// packing multipliers zeta on the (i, k) rows, the current budget beta and
+// eps, the oracle either:
+//   (i)  signals PRIMAL progress — the stored edges support a b-matching of
+//        weight close to beta (Lemma 13); the driver then re-solves offline
+//        and raises beta; or
+//   (ii) returns a sparse dual point x = {x_i(k)} / {z_{U,l}} satisfying the
+//        Lagrangian covering inequality LagInner, which the fractional
+//        covering loop blends into the dual state.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dual_state.hpp"
+#include "core/odd_sets.hpp"
+#include "core/weight_levels.hpp"
+#include "graph/graph.hpp"
+
+namespace dp::core {
+
+/// One stored edge with its refined multiplier u^s_{ijk}; the level k is
+/// the edge's level in the LevelGraph.
+struct StoredMultiplier {
+  EdgeId edge;
+  double us;
+};
+
+/// Sparse zeta_{ik} multipliers keyed by i * num_levels + k.
+using ZetaMap = std::unordered_map<std::uint64_t, double>;
+
+struct MicroResult {
+  enum class Kind {
+    kPrimal,  // case (i): beta is beatable on the stored edges
+    kDual     // case (ii): x is a valid LagInner point
+  };
+  Kind kind = Kind::kDual;
+  DualPoint x;          // meaningful for kDual (may be all-zero)
+  double gamma = 0.0;   // diagnostic: the oracle's gamma value
+};
+
+struct OracleConfig {
+  OddSetOptions odd;
+  /// Separate odd sets on at most this many (lowest) active levels per call
+  /// (each costs a Gomory-Hu tree). 0 = all active levels.
+  std::size_t max_separation_levels = 4;
+  /// Disable odd-set separation entirely (bipartite mode).
+  bool use_odd_sets = true;
+};
+
+/// Candidate odd sets per level, reusable across the rho probes of one
+/// Lagrangian search: separation (a Gomory-Hu tree per level) runs once;
+/// every probe re-validates Equation (4) per candidate, which keeps
+/// soundness independent of the cache.
+struct OddSetCache {
+  bool populated = false;
+  /// candidate sets per separated level (level, sets).
+  std::vector<std::pair<int, std::vector<std::vector<Vertex>>>> by_level;
+};
+
+class MicroOracle {
+ public:
+  MicroOracle(const LevelGraph& lg, const Capacities& b, OracleConfig config)
+      : lg_(&lg), b_(&b), config_(std::move(config)) {}
+
+  /// One Algorithm-5 invocation at a fixed Lagrange multiplier rho (the
+  /// paper's varrho). `cache`, if given, amortizes odd-set separation
+  /// across invocations with the same stored multipliers.
+  MicroResult run(const std::vector<StoredMultiplier>& us,
+                  const ZetaMap& zeta, double beta, double rho,
+                  OddSetCache* cache = nullptr) const;
+
+  /// Lemma 10 wrapper: binary search over rho; returns either a primal
+  /// signal or a dual point additionally satisfying
+  /// zeta^T Po x <= (13/12) zeta^T qo. `calls` (optional) accumulates the
+  /// number of MicroOracle invocations.
+  MicroResult run_lagrangian(const std::vector<StoredMultiplier>& us,
+                             const ZetaMap& zeta, double beta,
+                             std::size_t* calls = nullptr) const;
+
+  /// zeta-weighted outer packing value of a dual point:
+  /// sum_{(i,k)} zeta_{ik} * (2 x_i(k) + sum_{l<=k} sum_{U ni i} z_{U,l}).
+  double weighted_po(const DualPoint& x, const ZetaMap& zeta) const;
+
+  /// zeta^T qo = sum zeta_{ik} * 3 wHat_k.
+  double weighted_qo(const ZetaMap& zeta) const;
+
+ private:
+  const LevelGraph* lg_;
+  const Capacities* b_;
+  OracleConfig config_;
+};
+
+/// s1 * a + s2 * b on sparse dual points.
+DualPoint combine_points(const DualPoint& a, double s1, const DualPoint& b,
+                         double s2);
+
+}  // namespace dp::core

@@ -1,0 +1,340 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/certificate.hpp"
+#include "core/initial.hpp"
+#include "matching/greedy.hpp"
+#include "sparsify/deferred.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace dp::core {
+
+namespace {
+
+/// Exponent-shifted covering multipliers u_e = exp(-alpha row_e/wHat_e)/wHat_e
+/// for the given edge ids, clamped to a dynamic range of eps/(4m) so the
+/// number of geometric promise classes stays O(log(m/eps)) (the paper's L0
+/// bound plays the same role).
+std::vector<double> covering_us(const DualState& state, const LevelGraph& lg,
+                                const std::vector<EdgeId>& edges,
+                                double alpha) {
+  std::vector<double> ratio(edges.size(), 0.0);
+  double min_ratio = 1e300;
+  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+    const EdgeId e = edges[idx];
+    const Edge& edge = lg.graph().edge(e);
+    const int k = lg.level(e);
+    ratio[idx] = state.cover_row(edge.u, edge.v, k) / lg.level_weight(k);
+    min_ratio = std::min(min_ratio, ratio[idx]);
+  }
+  std::vector<double> u(edges.size(), 0.0);
+  double u_max = 0;
+  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
+    const int k = lg.level(edges[idx]);
+    u[idx] =
+        std::exp(-alpha * (ratio[idx] - min_ratio)) / lg.level_weight(k);
+    u_max = std::max(u_max, u[idx]);
+  }
+  const double floor_value =
+      u_max * lg.eps() / (4.0 * static_cast<double>(edges.size()) + 4.0);
+  for (double& value : u) value = std::max(value, floor_value);
+  return u;
+}
+
+double normalized_value(const LevelGraph& lg, const BMatching& bm) {
+  double total = 0;
+  for (EdgeId e = 0; e < bm.num_edges(); ++e) {
+    const std::int64_t y = bm.multiplicity(e);
+    if (y > 0 && lg.level(e) >= 0) {
+      total += static_cast<double>(y) * lg.level_weight(lg.level(e));
+    }
+  }
+  return total;
+}
+
+/// Offline solve on the subgraph spanned by `support` (original weights);
+/// returns the solution lifted back to full-graph edge ids.
+BMatching offline_solve(const Graph& g, const Capacities& b, bool unit_caps,
+                        const std::vector<EdgeId>& support,
+                        const ApproxOptions& offline) {
+  Graph sub(g.num_vertices());
+  for (EdgeId e : support) {
+    const Edge& edge = g.edge(e);
+    sub.add_edge(edge.u, edge.v, edge.w);
+  }
+  BMatching out(g.num_edges());
+  if (unit_caps) {
+    const Matching m = approx_weighted_matching(sub, offline);
+    for (EdgeId local : m.edges()) out.set_multiplicity(support[local], 1);
+  } else {
+    const BMatching bm = approx_weighted_b_matching(sub, b);
+    for (EdgeId local = 0; local < bm.num_edges(); ++local) {
+      if (bm.multiplicity(local) > 0) {
+        out.set_multiplicity(support[local], bm.multiplicity(local));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Solver::Solver(const Graph& g, const Capacities& b, SolverOptions options)
+    : g_(&g), b_(b), options_(std::move(options)) {}
+
+Solver::Solver(const Graph& g, SolverOptions options)
+    : g_(&g), b_(Capacities::unit(g.num_vertices())),
+      options_(std::move(options)) {}
+
+SolverResult Solver::solve() {
+  const Graph& g = *g_;
+  SolverResult result;
+  result.b_matching = BMatching(g.num_edges());
+  if (g.num_edges() == 0 || g.num_vertices() == 0) {
+    result.certified_ratio = 1.0;
+    return result;
+  }
+  const double eps = options_.eps;
+  const double p = std::max(options_.p, 1.01);
+  Rng rng(options_.seed);
+
+  bool unit_caps = true;
+  for (std::size_t v = 0; v < b_.size(); ++v) {
+    if (b_[static_cast<Vertex>(v)] != 1) {
+      unit_caps = false;
+      break;
+    }
+  }
+
+  // ---- Discretize weights into levels (Definitions 2/3). ----
+  const LevelGraph lg(g, b_, eps);
+  const std::vector<EdgeId>& retained = lg.retained();
+  if (retained.empty()) {
+    result.certified_ratio = 1.0;
+    return result;
+  }
+  const auto m_retained = static_cast<double>(retained.size());
+  const double n = static_cast<double>(g.num_vertices());
+
+  // ---- Initial dual solution (Lemma 12). ----
+  const InitialSolution init =
+      build_initial(lg, b_, p, rng.next(), &result.meter);
+  DualState state(g.num_vertices(), lg.num_levels());
+  state.assign(init.x0);
+  double beta = std::max(init.beta0, 1e-12);
+
+  // ---- Best primal so far: offline on the initial support. ----
+  auto consider = [&](const BMatching& bm) {
+    const double value = bm.weight(g);
+    if (value > result.value) {
+      result.value = value;
+      result.b_matching = bm;
+    }
+    const double norm = normalized_value(lg, bm);
+    // Algorithm 2 step 6 with a3 folded into eps: remember the raised beta.
+    if (norm > beta * (1.0 - eps) / (1.0 + eps)) {
+      beta = norm * (1.0 + eps) / (1.0 - eps);
+    }
+  };
+  consider(offline_solve(g, b_, unit_caps, init.support, options_.offline));
+
+  // ---- Outer sampling rounds. ----
+  const double gamma = std::pow(n, 1.0 / (2.0 * p));
+  std::size_t t = options_.sparsifiers_per_round;
+  if (t == 0) {
+    t = static_cast<std::size_t>(
+        std::ceil(std::max(1.0, std::log(gamma)) / eps));
+    t = std::clamp<std::size_t>(t, 2, 24);
+  }
+  std::size_t max_rounds = options_.max_outer_rounds;
+  if (max_rounds == 0) {
+    max_rounds =
+        4 * static_cast<std::size_t>(std::ceil(p / eps)) + 4;
+    max_rounds = std::min<std::size_t>(max_rounds, 64);
+  }
+
+  MicroOracle oracle(lg, b_, options_.oracle);
+  DeferredOptions dopt;
+  // Internal sparsifier accuracy is decoupled from eps: the driver
+  // re-solves offline on the stored union every round and the dual
+  // certificate (objective/lambda) is sound regardless of sparsifier
+  // quality, so a coarse-but-cheap sparsifier only slows convergence.
+  // gamma enters deferred_probabilities squared; passing sqrt(gamma)
+  // yields linear-in-gamma oversampling — the measured multiplier drift
+  // per round sits far below the worst-case gamma^2 (documented deviation
+  // in EXPERIMENTS.md).
+  dopt.xi = 0.5;
+  dopt.gamma = std::sqrt(std::max(1.0, gamma));
+  dopt.sampling_constant = 0.25;
+
+  std::vector<Edge> retained_edges;
+  retained_edges.reserve(retained.size());
+  for (EdgeId e : retained) retained_edges.push_back(g.edge(e));
+
+  const int levels = lg.num_levels();
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    // lambda and early stopping (Corollary 6's certificate).
+    const double lambda = state.lambda(lg);
+    result.lambda = lambda;
+    if (lambda >= 1.0 - 3.0 * eps) break;
+    if (options_.target_ratio > 0 && result.value > 0 && lambda > 0) {
+      const double bound = state.objective(b_) / lambda;
+      const double bound_orig =
+          bound * lg.scale() * (1.0 + eps) + eps * lg.w_star() / 2.0;
+      if (result.value >= options_.target_ratio * bound_orig) break;
+    }
+    ++result.outer_rounds;
+
+    // PST multiplier temperature (Theorem 5): alpha ~ ln(m/eps)/(lambda eps).
+    const double lambda_floor =
+        std::max(lambda, eps / std::max(256.0, m_retained));
+    const double alpha =
+        2.0 * std::log(2.0 * m_retained / eps) / (lambda_floor * eps);
+
+    // Promise multipliers over every retained edge; ONE access round.
+    const std::vector<double> promise =
+        covering_us(state, lg, retained, alpha);
+    const std::vector<double> prob = deferred_probabilities(
+        g.num_vertices(), retained_edges, promise, dopt, rng.next());
+    result.meter.add_round();
+    result.meter.add_pass();
+
+    // Draw t independent deferred sparsifiers.
+    std::vector<std::vector<std::size_t>> stored(t);
+    std::size_t stored_total = 0;
+    for (std::size_t q = 0; q < t; ++q) {
+      for (std::size_t idx = 0; idx < retained.size(); ++idx) {
+        if (prob[idx] > 0 &&
+            (prob[idx] >= 1.0 || rng.bernoulli(prob[idx]))) {
+          stored[q].push_back(idx);
+        }
+      }
+      stored_total += stored[q].size();
+    }
+    result.meter.store_edges(stored_total);
+
+    // Offline solve on the union (Algorithm 2 step 5).
+    {
+      std::vector<char> in_union(retained.size(), 0);
+      for (const auto& s : stored) {
+        for (std::size_t idx : s) in_union[idx] = 1;
+      }
+      std::vector<EdgeId> support;
+      for (std::size_t idx = 0; idx < retained.size(); ++idx) {
+        if (in_union[idx]) support.push_back(retained[idx]);
+      }
+      consider(offline_solve(g, b_, unit_caps, support, options_.offline));
+    }
+
+    // Inner multiplicative-weight iterations on the stored samples.
+    std::size_t round_oracle_calls = 0;
+    for (std::size_t q = 0; q < t; ++q) {
+      if (stored[q].empty()) continue;
+      // Deferred refinement: evaluate the CURRENT multipliers on exactly
+      // the stored indices (no new data access).
+      std::vector<EdgeId> ids;
+      ids.reserve(stored[q].size());
+      for (std::size_t idx : stored[q]) ids.push_back(retained[idx]);
+      const std::vector<double> u_now = covering_us(state, lg, ids, alpha);
+      std::vector<StoredMultiplier> us(ids.size());
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        us[i] = StoredMultiplier{ids[i],
+                                 u_now[i] / prob[stored[q][i]]};
+      }
+
+      // zeta: packing multipliers on the active outer rows (i, k).
+      ZetaMap zeta;
+      {
+        // Active rows and their current Po values.
+        ZetaMap po_rows;
+        for (EdgeId e : ids) {
+          const Edge& edge = g.edge(e);
+          const int k = lg.level(e);
+          po_rows.emplace(
+              static_cast<std::uint64_t>(edge.u) * levels + k, 0.0);
+          po_rows.emplace(
+              static_cast<std::uint64_t>(edge.v) * levels + k, 0.0);
+        }
+        double max_expo = -1e300;
+        std::vector<std::pair<std::uint64_t, double>> rows;
+        rows.reserve(po_rows.size());
+        const double alpha_p = std::log(2.0 * (po_rows.size() + 1) / eps) *
+                               6.0 / eps;
+        for (const auto& [kk, unused] : po_rows) {
+          const auto i = static_cast<Vertex>(kk / levels);
+          const int k = static_cast<int>(kk % levels);
+          const double q_val = 3.0 * lg.level_weight(k);
+          const double expo = alpha_p * state.po_row(i, k) / q_val;
+          rows.emplace_back(kk, expo);
+          max_expo = std::max(max_expo, expo);
+        }
+        for (const auto& [kk, expo] : rows) {
+          const int k = static_cast<int>(kk % levels);
+          zeta[kk] = std::exp(expo - max_expo) / (3.0 * lg.level_weight(k));
+        }
+      }
+
+      const MicroResult mr =
+          oracle.run_lagrangian(us, zeta, beta, &round_oracle_calls);
+      result.meter.add_inner_iterations();
+      if (mr.kind == MicroResult::Kind::kPrimal) {
+        // The dual cannot make progress at this beta: the stored edges
+        // carry a matching close to beta (Lemma 13). Raise beta
+        // (Algorithm 3 step 5b) and continue.
+        beta *= (1.0 + eps);
+        continue;
+      }
+      const double sigma =
+          std::min(0.5, eps / (4.0 * alpha * 6.0));  // rho_o = 6 (LP4/LP5)
+      state.blend(mr.x, sigma);
+    }
+    result.oracle_calls += round_oracle_calls;
+    result.meter.add_oracle_calls(round_oracle_calls);
+    // The round's samples are discarded once its iterations finish; peak
+    // space is a per-round quantity.
+    result.meter.release_edges(stored_total);
+
+    result.history.push_back(RoundStats{round + 1, lambda, beta,
+                                        result.value, stored_total,
+                                        round_oracle_calls});
+    DP_INFO("round " << round + 1 << " lambda=" << lambda << " beta=" << beta
+                     << " best=" << result.value
+                     << " stored=" << stored_total);
+  }
+
+  // ---- Certificate: explicit dual, verified edge by edge. ----
+  const double lambda = state.lambda(lg);
+  result.lambda = lambda;
+  result.beta = beta;
+  // Best verified bound among the multiplicative-weights certificate and
+  // the cheap witness duals (the latter floor the guarantee while the dual
+  // is still converging).
+  result.dual_bound = best_dual_bound(state, lg, b_);
+  result.dual_bound = std::max(result.dual_bound, result.value);
+  result.certified_ratio =
+      result.dual_bound > 0 ? result.value / result.dual_bound : 1.0;
+
+  // Plain matching view for unit capacities.
+  if (unit_caps) {
+    Matching m;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (result.b_matching.multiplicity(e) > 0) m.add(e);
+    }
+    result.matching = std::move(m);
+  }
+  return result;
+}
+
+SolverResult solve_matching(const Graph& g, const SolverOptions& options) {
+  return Solver(g, options).solve();
+}
+
+SolverResult solve_b_matching(const Graph& g, const Capacities& b,
+                              const SolverOptions& options) {
+  return Solver(g, b, options).solve();
+}
+
+}  // namespace dp::core

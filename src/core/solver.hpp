@@ -1,0 +1,108 @@
+#pragma once
+// Public facade: the dual-primal (1-eps)-approximate weighted nonbipartite
+// b-matching solver of Ahn-Guha (SPAA 2015) — Algorithms 1/2/4, Theorem 15.
+//
+// One outer iteration (an *adaptive sampling round*):
+//   1. Compute exponential multipliers u from the current dual state
+//      (Theorem 5 / Corollary 6 rule) over all retained edges.
+//   2. Build t = O(eps^-1 log gamma) independent deferred sparsifiers from
+//      the promise weights u, gamma = n^{1/(2p)} — ONE round of access to
+//      the input, O(n^{1+1/p}) stored edges.
+//   3. Run the offline (1-a3)-approximation on the union of stored edges;
+//      raise beta and remember the best integral solution (Algorithm 2
+//      step 5/6).
+//   4. For q = 1..t: refine sparsifier q with the CURRENT multipliers
+//      (deferred refinement — no new data access), invoke the MiniOracle
+//      (Lemma 10 binary search over MicroOracle = Algorithm 5), and blend
+//      the returned dual point into the state with the PST step size.
+//   5. Stop when lambda = min_e (Ax)_e / wHat_e >= 1 - 3 eps: the scaled
+//      dual state is then a feasible dual, certifying near-optimality of
+//      the best primal found (condition (d1)).
+//
+// The solver meters rounds, stored edges and oracle calls, and reports a
+// rigorous dual upper bound: objective(x)/lambda is feasible for LP10/LP11
+// whenever lambda > 0, so value/bound is a true approximation certificate.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/weight_levels.hpp"
+#include "graph/graph.hpp"
+#include "matching/approx.hpp"
+#include "matching/matching.hpp"
+#include "util/accounting.hpp"
+
+namespace dp::core {
+
+struct SolverOptions {
+  /// Target approximation slack (0 < eps <= 1/4 recommended).
+  double eps = 0.1;
+  /// Space exponent p > 1: per-round storage ~ n^{1+1/p}.
+  double p = 2.0;
+  std::uint64_t seed = 42;
+  /// Cap on outer sampling rounds (0 = automatic: ~4 ceil(p/eps) + 4).
+  std::size_t max_outer_rounds = 0;
+  /// Sparsifiers (= inner MW iterations) per round (0 = eps^-1 log gamma).
+  std::size_t sparsifiers_per_round = 0;
+  /// Oracle configuration (odd-set separation etc.).
+  OracleConfig oracle;
+  /// Offline solver knobs for the stored subgraph.
+  ApproxOptions offline;
+  /// Stop as soon as best/bound >= 1 - certified_gap (0 = only lambda rule).
+  double target_ratio = 0.0;
+};
+
+struct RoundStats {
+  std::size_t round = 0;
+  double lambda = 0;
+  double beta = 0;
+  double best_value = 0;  // original weights
+  std::size_t stored_edges = 0;
+  std::size_t oracle_calls = 0;
+};
+
+struct SolverResult {
+  /// Best integral b-matching found (multiplicities; for unit capacities
+  /// every multiplicity is one).
+  BMatching b_matching;
+  /// Same solution as a plain matching when all capacities are 1.
+  Matching matching;
+  /// Original-weight value of the solution.
+  double value = 0;
+  /// Rigorous dual upper bound on the optimum (original weights).
+  double dual_bound = 0;
+  /// value / dual_bound (certified approximation factor).
+  double certified_ratio = 0;
+  double lambda = 0;
+  double beta = 0;  // final normalized budget
+  std::size_t outer_rounds = 0;
+  std::size_t oracle_calls = 0;
+  ResourceMeter meter;
+  std::vector<RoundStats> history;
+};
+
+class Solver {
+ public:
+  /// The graph and capacities must outlive the solver.
+  Solver(const Graph& g, const Capacities& b, SolverOptions options);
+
+  /// Unit capacities.
+  Solver(const Graph& g, SolverOptions options);
+
+  SolverResult solve();
+
+ private:
+  const Graph* g_;
+  Capacities b_;
+  SolverOptions options_;
+};
+
+/// One-call convenience API for ordinary weighted matching.
+SolverResult solve_matching(const Graph& g, const SolverOptions& options);
+
+/// One-call convenience API for weighted b-matching.
+SolverResult solve_b_matching(const Graph& g, const Capacities& b,
+                              const SolverOptions& options);
+
+}  // namespace dp::core

@@ -1,0 +1,44 @@
+#include "graph/connectivity.hpp"
+
+#include "graph/union_find.hpp"
+
+namespace dp {
+
+std::vector<std::uint32_t> connected_components(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  std::vector<std::uint32_t> label(g.num_vertices());
+  std::vector<std::uint32_t> remap(g.num_vertices(), ~0u);
+  std::uint32_t next = 0;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const std::uint32_t root = uf.find(static_cast<std::uint32_t>(v));
+    if (remap[root] == ~0u) remap[root] = next++;
+    label[v] = remap[root];
+  }
+  return label;
+}
+
+std::size_t num_components(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  for (const Edge& e : g.edges()) uf.unite(e.u, e.v);
+  return uf.num_components();
+}
+
+std::vector<EdgeId> spanning_forest(const Graph& g) {
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> forest;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) forest.push_back(e);
+  }
+  return forest;
+}
+
+double cut_weight(const Graph& g, const std::vector<char>& in_s) {
+  double w = 0;
+  for (const Edge& e : g.edges()) {
+    if (in_s[e.u] != in_s[e.v]) w += e.w;
+  }
+  return w;
+}
+
+}  // namespace dp

@@ -1,0 +1,24 @@
+#pragma once
+// Connectivity helpers: component labelling and spanning forests, used both
+// directly and as ground truth for the sketch-based connectivity of E11.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dp {
+
+/// Component label (0-based, contiguous) for every vertex.
+std::vector<std::uint32_t> connected_components(const Graph& g);
+
+/// Number of connected components.
+std::size_t num_components(const Graph& g);
+
+/// Edge ids of an arbitrary spanning forest.
+std::vector<EdgeId> spanning_forest(const Graph& g);
+
+/// Exact weight of cut (S, V-S): sum of w_e over edges with exactly one
+/// endpoint in S. `in_s[v]` marks membership.
+double cut_weight(const Graph& g, const std::vector<char>& in_s);
+
+}  // namespace dp

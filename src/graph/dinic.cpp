@@ -1,0 +1,95 @@
+#include "graph/dinic.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace dp {
+
+Dinic::Dinic(std::size_t n) : head_(n, kNil), level_(n), iter_(n) {}
+
+std::size_t Dinic::add_arc(std::uint32_t u, std::uint32_t v, Cap cap,
+                           Cap back_cap) {
+  const std::size_t idx = arcs_.size();
+  arcs_.push_back(Arc{v, cap, head_[u]});
+  head_[u] = static_cast<std::uint32_t>(idx);
+  arcs_.push_back(Arc{u, back_cap, head_[v]});
+  head_[v] = static_cast<std::uint32_t>(idx + 1);
+  initial_cap_.push_back(cap);
+  initial_cap_.push_back(back_cap);
+  return idx;
+}
+
+bool Dinic::bfs(std::uint32_t s, std::uint32_t t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<std::uint32_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (std::uint32_t a = head_[u]; a != kNil; a = arcs_[a].next) {
+      const Arc& arc = arcs_[a];
+      if (arc.cap > 0 && level_[arc.to] < 0) {
+        level_[arc.to] = level_[u] + 1;
+        q.push(arc.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+Dinic::Cap Dinic::dfs(std::uint32_t u, std::uint32_t t, Cap limit) {
+  if (u == t) return limit;
+  Cap pushed = 0;
+  for (std::uint32_t& a = iter_[u]; a != kNil; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.cap <= 0 || level_[arc.to] != level_[u] + 1) continue;
+    const Cap f = dfs(arc.to, t, std::min(limit - pushed, arc.cap));
+    if (f > 0) {
+      arc.cap -= f;
+      arcs_[a ^ 1].cap += f;
+      pushed += f;
+      if (pushed == limit) return pushed;
+    }
+  }
+  level_[u] = -1;  // dead end
+  return pushed;
+}
+
+Dinic::Cap Dinic::max_flow(std::uint32_t s, std::uint32_t t) {
+  // Reset all capacities so the solver is reusable across (s, t) pairs.
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    arcs_[i].cap = initial_cap_[i];
+  }
+  Cap flow = 0;
+  while (bfs(s, t)) {
+    iter_ = head_;
+    Cap f;
+    while ((f = dfs(s, t, std::numeric_limits<Cap>::max())) > 0) {
+      flow += f;
+    }
+  }
+  return flow;
+}
+
+std::vector<char> Dinic::min_cut_side(std::uint32_t s) const {
+  std::vector<char> side(head_.size(), 0);
+  std::queue<std::uint32_t> q;
+  side[s] = 1;
+  q.push(s);
+  while (!q.empty()) {
+    const std::uint32_t u = q.front();
+    q.pop();
+    for (std::uint32_t a = head_[u]; a != kNil; a = arcs_[a].next) {
+      const Arc& arc = arcs_[a];
+      if (arc.cap > 0 && !side[arc.to]) {
+        side[arc.to] = 1;
+        q.push(arc.to);
+      }
+    }
+  }
+  return side;
+}
+
+}  // namespace dp

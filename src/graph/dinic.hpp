@@ -1,0 +1,55 @@
+#pragma once
+// Dinic maximum-flow on integer capacities.
+//
+// Used by the odd-set separation machinery (Lemma 24/25 of the paper): the
+// Padberg-Rao style search for minimum odd cuts runs max-flows on the graph
+// H built from discretized multipliers, which is why capacities are int64.
+
+#include <cstdint>
+#include <vector>
+
+namespace dp {
+
+class Dinic {
+ public:
+  using Cap = std::int64_t;
+
+  explicit Dinic(std::size_t n);
+
+  /// Add a directed arc u->v with capacity cap (and residual v->u of
+  /// back_cap; pass cap for an undirected edge). Returns the arc index.
+  std::size_t add_arc(std::uint32_t u, std::uint32_t v, Cap cap,
+                      Cap back_cap = 0);
+
+  /// Add an undirected edge (capacity both ways).
+  std::size_t add_edge(std::uint32_t u, std::uint32_t v, Cap cap) {
+    return add_arc(u, v, cap, cap);
+  }
+
+  /// Max flow from s to t. Resets previous flow.
+  Cap max_flow(std::uint32_t s, std::uint32_t t);
+
+  /// After max_flow: vertices reachable from s in the residual graph
+  /// (the s-side of a minimum cut).
+  std::vector<char> min_cut_side(std::uint32_t s) const;
+
+  std::size_t num_vertices() const noexcept { return head_.size(); }
+
+ private:
+  bool bfs(std::uint32_t s, std::uint32_t t);
+  Cap dfs(std::uint32_t u, std::uint32_t t, Cap limit);
+
+  struct Arc {
+    std::uint32_t to;
+    Cap cap;
+    std::uint32_t next;
+  };
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> head_;
+  std::vector<Cap> initial_cap_;  // to reset between flows
+  std::vector<int> level_;
+  std::vector<std::uint32_t> iter_;
+  static constexpr std::uint32_t kNil = ~0u;
+};
+
+}  // namespace dp

@@ -1,0 +1,308 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/hash.hpp"
+
+namespace dp::gen {
+
+namespace {
+
+/// Insert m distinct edges produced by `propose` into g.
+template <typename Propose>
+void fill_distinct_edges(Graph& g, std::size_t m, Propose&& propose) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * m + 1000;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    auto [u, v] = propose();
+    if (u == v) continue;
+    const std::uint64_t key = edge_key(u, v);
+    if (!seen.insert(key).second) continue;
+    g.add_edge(u, v, 1.0);
+    ++added;
+  }
+}
+
+}  // namespace
+
+Graph gnm(std::size_t n, std::size_t m, std::uint64_t seed) {
+  const std::size_t max_m = n < 2 ? 0 : n * (n - 1) / 2;
+  if (m > max_m) {
+    throw std::invalid_argument("gnm: too many edges requested");
+  }
+  Graph g(n);
+  Rng rng(seed);
+  fill_distinct_edges(g, m, [&] {
+    return std::pair<Vertex, Vertex>(
+        static_cast<Vertex>(rng.uniform(n)),
+        static_cast<Vertex>(rng.uniform(n)));
+  });
+  return g;
+}
+
+Graph gnp(std::size_t n, double p, std::uint64_t seed) {
+  Graph g(n);
+  if (p <= 0 || n < 2) return g;
+  if (p >= 1) return complete(n);
+  Rng rng(seed);
+  // Geometric skipping over the (n choose 2) potential edges.
+  const double log_q = std::log1p(-p);
+  std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t idx = 0;
+  for (;;) {
+    const double r = rng.uniform_real();
+    const std::uint64_t skip =
+        static_cast<std::uint64_t>(std::floor(std::log1p(-r) / log_q));
+    idx += skip;
+    if (idx >= total) break;
+    // Decode linear index -> (u, v) with u < v.
+    std::uint64_t u = 0;
+    std::uint64_t remaining = idx;
+    std::uint64_t row = n - 1;
+    while (remaining >= row) {
+      remaining -= row;
+      ++u;
+      --row;
+    }
+    const std::uint64_t v = u + 1 + remaining;
+    g.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v), 1.0);
+    ++idx;
+  }
+  return g;
+}
+
+Graph bipartite(std::size_t n_left, std::size_t n_right, std::size_t m,
+                std::uint64_t seed) {
+  const std::size_t max_m = n_left * n_right;
+  if (m > max_m) {
+    throw std::invalid_argument("bipartite: too many edges requested");
+  }
+  Graph g(n_left + n_right);
+  Rng rng(seed);
+  fill_distinct_edges(g, m, [&] {
+    return std::pair<Vertex, Vertex>(
+        static_cast<Vertex>(rng.uniform(n_left)),
+        static_cast<Vertex>(n_left + rng.uniform(n_right)));
+  });
+  return g;
+}
+
+Graph power_law(std::size_t n, double alpha, double avg_deg,
+                std::uint64_t seed) {
+  // Chung-Lu: expected degree sequence d_i proportional to i^{-1/(alpha-1)},
+  // scaled to the requested average; edge (i,j) present w.p. d_i d_j / S.
+  if (n < 2) return Graph(n);
+  std::vector<double> w(n);
+  const double beta = 1.0 / (alpha - 1.0);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -beta);
+    sum += w[i];
+  }
+  const double scale = avg_deg * static_cast<double>(n) / sum;
+  for (double& x : w) x *= scale;
+  double total = 0;
+  for (double x : w) total += x;
+
+  Graph g(n);
+  Rng rng(seed);
+  // Weights are sorted decreasing; use the standard efficient Chung-Lu
+  // sampler: for each i, walk j > i with geometric skips under the bound
+  // p_ij <= w_i w_j / total, then accept with the exact ratio.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    double p_bound = std::min(1.0, w[i] * w[i + 1] / total);
+    if (p_bound <= 0) continue;
+    std::size_t j = i + 1;
+    while (j < n) {
+      if (p_bound < 1.0) {
+        const double r = rng.uniform_real();
+        const double skip = std::floor(std::log1p(-r) / std::log1p(-p_bound));
+        j += static_cast<std::size_t>(skip);
+      }
+      if (j >= n) break;
+      const double p_exact = std::min(1.0, w[i] * w[j] / total);
+      if (rng.uniform_real() < p_exact / p_bound) {
+        g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j), 1.0);
+      }
+      p_bound = p_exact;  // weights decrease in j, so the bound stays valid
+      ++j;
+    }
+  }
+  return g;
+}
+
+Graph geometric(std::size_t n, double radius, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform_real();
+    y[i] = rng.uniform_real();
+  }
+  // Grid bucketing for near-linear construction.
+  const double r2 = radius * radius;
+  const std::size_t cells =
+      std::max<std::size_t>(1, static_cast<std::size_t>(1.0 / radius));
+  std::vector<std::vector<Vertex>> bucket(cells * cells);
+  auto cell_of = [&](double c) {
+    auto idx = static_cast<std::size_t>(c * static_cast<double>(cells));
+    return std::min(idx, cells - 1);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    bucket[cell_of(x[i]) * cells + cell_of(y[i])].push_back(
+        static_cast<Vertex>(i));
+  }
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cx = cell_of(x[i]);
+    const std::size_t cy = cell_of(y[i]);
+    for (std::size_t dx = 0; dx < 3; ++dx) {
+      for (std::size_t dy = 0; dy < 3; ++dy) {
+        if (cx + dx < 1 || cy + dy < 1) continue;
+        const std::size_t nx = cx + dx - 1;
+        const std::size_t ny = cy + dy - 1;
+        if (nx >= cells || ny >= cells) continue;
+        for (Vertex j : bucket[nx * cells + ny]) {
+          if (j <= i) continue;
+          const double ddx = x[i] - x[j];
+          const double ddy = y[i] - y[j];
+          if (ddx * ddx + ddy * ddy <= r2) {
+            g.add_edge(static_cast<Vertex>(i), j, 1.0);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) {
+    return static_cast<Vertex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j), 1.0);
+    }
+  }
+  return g;
+}
+
+Graph triangle_rich(std::size_t k, std::size_t extra, std::uint64_t seed) {
+  const std::size_t n = 3 * k;
+  Graph g(n);
+  for (std::size_t t = 0; t < k; ++t) {
+    const Vertex a = static_cast<Vertex>(3 * t);
+    g.add_edge(a, a + 1, 1.0);
+    g.add_edge(a + 1, a + 2, 1.0);
+    g.add_edge(a, a + 2, 1.0);
+  }
+  if (extra > 0 && n >= 2) {
+    Rng rng(seed);
+    std::unordered_set<std::uint64_t> seen;
+    for (const Edge& e : g.edges()) seen.insert(edge_key(e.u, e.v));
+    std::size_t added = 0;
+    std::size_t attempts = 0;
+    while (added < extra && attempts < 100 * extra + 1000) {
+      ++attempts;
+      const auto u = static_cast<Vertex>(rng.uniform(n));
+      const auto v = static_cast<Vertex>(rng.uniform(n));
+      if (u == v) continue;
+      if (!seen.insert(edge_key(u, v)).second) continue;
+      g.add_edge(u, v, 1.0);
+      ++added;
+    }
+  }
+  return g;
+}
+
+Graph weighted_triangle_example(double apex_w) {
+  // Vertices: 0,1,2 form the unit triangle; 3 hangs off apex 0 with a heavy
+  // edge. With eps small the bipartite relaxation assigns 1/2 to each
+  // triangle edge (value 3/2 there) which the odd-set constraint forbids.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(0, 3, apex_w);
+  return g;
+}
+
+Graph greedy_trap_path(std::size_t k, double delta) {
+  // k disjoint P4 gadgets a-b-c-d with weights 1, 1+delta, 1. Greedy takes
+  // each middle edge (1+delta) and blocks both unit edges; the optimum takes
+  // the two unit edges per gadget.
+  Graph g(4 * k);
+  for (std::size_t t = 0; t < k; ++t) {
+    const auto a = static_cast<Vertex>(4 * t);
+    g.add_edge(a, a + 1, 1.0);
+    g.add_edge(a + 1, a + 2, 1.0 + delta);
+    g.add_edge(a + 2, a + 3, 1.0);
+  }
+  return g;
+}
+
+void weight_unit(Graph& g) {
+  Graph replacement(g.num_vertices());
+  for (const Edge& e : g.edges()) replacement.add_edge(e.u, e.v, 1.0);
+  g = std::move(replacement);
+}
+
+void weight_uniform(Graph& g, double lo, double hi, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph replacement(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    replacement.add_edge(e.u, e.v, rng.uniform_real(lo, hi));
+  }
+  g = std::move(replacement);
+}
+
+void weight_geometric_classes(Graph& g, double eps, int levels,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  Graph replacement(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    const int k = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(
+        levels < 1 ? 1 : levels)));
+    replacement.add_edge(e.u, e.v, std::pow(1.0 + eps, k));
+  }
+  g = std::move(replacement);
+}
+
+void weight_zipf(Graph& g, double theta, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph replacement(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    const double u = 1.0 - rng.uniform_real();  // (0, 1]
+    replacement.add_edge(e.u, e.v, std::pow(u, -theta));
+  }
+  g = std::move(replacement);
+}
+
+Capacities random_capacities(std::size_t n, std::int64_t lo, std::int64_t hi,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int64_t> b(n);
+  for (auto& x : b) x = rng.uniform_int(lo, hi);
+  return Capacities(std::move(b));
+}
+
+}  // namespace dp::gen

@@ -1,0 +1,78 @@
+#pragma once
+// Graph generators for the experiment workloads.
+//
+// Every generator is deterministic in its seed. Simple graphs only (no self
+// loops, no parallel edges). Weight assignment is orthogonal: generate a
+// topology, then apply one of the weighters.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dp::gen {
+
+/// Erdos-Renyi G(n, m): m distinct uniform edges.
+Graph gnm(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Erdos-Renyi G(n, p) via geometric skipping.
+Graph gnp(std::size_t n, double p, std::uint64_t seed);
+
+/// Random bipartite graph: sides of size n_left / n_right, m distinct edges.
+Graph bipartite(std::size_t n_left, std::size_t n_right, std::size_t m,
+                std::uint64_t seed);
+
+/// Chung-Lu power-law graph with exponent `alpha` (typically 2..3) and
+/// target average degree `avg_deg`.
+Graph power_law(std::size_t n, double alpha, double avg_deg,
+                std::uint64_t seed);
+
+/// Random geometric graph on the unit square with connection radius r.
+Graph geometric(std::size_t n, double radius, std::uint64_t seed);
+
+/// 2D grid graph (rows x cols), 4-neighborhood.
+Graph grid(std::size_t rows, std::size_t cols);
+
+/// Complete graph K_n.
+Graph complete(std::size_t n);
+
+/// Union of `k` disjoint triangles plus `extra` random cross edges; odd-set
+/// constraints are essential here, which stresses the non-bipartite part of
+/// the algorithm.
+Graph triangle_rich(std::size_t k, std::size_t extra, std::uint64_t seed);
+
+/// The paper's Section 1 example: a triangle with unit-weight edges and a
+/// pendant apex edge of small weight `apex_w` (paper uses 10*eps). The
+/// bipartite relaxation puts 1/2 on each triangle edge (value 3/2) while
+/// the integral optimum is 1 + apex_w — an overshoot of 1/2 - apex_w that
+/// only odd-set constraints remove.
+Graph weighted_triangle_example(double apex_w);
+
+/// Hard instance for greedy: k disjoint paths of 3 edges with weights
+/// 1, 1+delta, 1. Greedy takes each slightly-heavier middle edge and blocks
+/// both unit edges, landing at (1+delta)/2 of the optimum.
+Graph greedy_trap_path(std::size_t k, double delta);
+
+// ---- Weighters ------------------------------------------------------------
+
+/// Assign every edge weight 1 (cardinality matching).
+void weight_unit(Graph& g);
+
+/// Uniform random weights in [lo, hi].
+void weight_uniform(Graph& g, double lo, double hi, std::uint64_t seed);
+
+/// Exponentially distributed weight classes: weight (1+eps)^k with k uniform
+/// in [0, levels); matches the paper's discretization exactly.
+void weight_geometric_classes(Graph& g, double eps, int levels,
+                              std::uint64_t seed);
+
+/// Zipf-like heavy-tail weights: w = 1 / u^{theta} for u uniform in (0, 1].
+void weight_zipf(Graph& g, double theta, std::uint64_t seed);
+
+// ---- Capacities -----------------------------------------------------------
+
+/// Uniform random capacities b_i in [lo, hi].
+Capacities random_capacities(std::size_t n, std::int64_t lo, std::int64_t hi,
+                             std::uint64_t seed);
+
+}  // namespace dp::gen

@@ -1,0 +1,100 @@
+#include "graph/gomory_hu.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "graph/dinic.hpp"
+
+namespace dp {
+
+std::int64_t GomoryHuTree::min_cut(std::uint32_t s, std::uint32_t t) const {
+  // Lift both endpoints to the root, tracking the path minimum. Depth is at
+  // most n, so walk via depth computation.
+  const std::size_t n = parent.size();
+  std::vector<int> depth(n, -1);
+  auto depth_of = [&](std::uint32_t v) {
+    int d = 0;
+    std::uint32_t x = v;
+    while (x != 0 && parent[x] != x) {
+      ++d;
+      x = parent[x];
+      if (d > static_cast<int>(n)) break;  // defensive
+    }
+    return d;
+  };
+  int ds = depth_of(s);
+  int dt = depth_of(t);
+  std::int64_t best = INT64_MAX;
+  std::uint32_t a = s, b = t;
+  while (ds > dt) {
+    best = std::min(best, cut_value[a]);
+    a = parent[a];
+    --ds;
+  }
+  while (dt > ds) {
+    best = std::min(best, cut_value[b]);
+    b = parent[b];
+    --dt;
+  }
+  while (a != b) {
+    best = std::min(best, cut_value[a]);
+    best = std::min(best, cut_value[b]);
+    a = parent[a];
+    b = parent[b];
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+std::vector<std::uint32_t> GomoryHuTree::cut_side(std::uint32_t v) const {
+  const std::size_t n = parent.size();
+  // Children lists.
+  std::vector<std::vector<std::uint32_t>> children(n);
+  for (std::uint32_t x = 1; x < n; ++x) children[parent[x]].push_back(x);
+  std::vector<std::uint32_t> side;
+  std::vector<std::uint32_t> stack{v};
+  while (!stack.empty()) {
+    const std::uint32_t x = stack.back();
+    stack.pop_back();
+    side.push_back(x);
+    for (std::uint32_t c : children[x]) stack.push_back(c);
+  }
+  return side;
+}
+
+GomoryHuTree gomory_hu(std::size_t n, const std::vector<Edge>& edges,
+                       const std::vector<std::int64_t>& cap) {
+  if (edges.size() != cap.size()) {
+    throw std::invalid_argument("gomory_hu: cap size mismatch");
+  }
+  // Aggregate parallel edges.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> agg;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (cap[e] <= 0) continue;
+    auto key = std::minmax(edges[e].u, edges[e].v);
+    agg[{key.first, key.second}] += cap[e];
+  }
+  GomoryHuTree tree;
+  tree.parent.assign(n, 0);
+  tree.cut_value.assign(n, 0);
+  if (n <= 1) return tree;
+
+  Dinic dinic(n);
+  for (const auto& [key, c] : agg) {
+    dinic.add_edge(key.first, key.second, c);
+  }
+  // Gusfield: for each i, flow to current parent; re-parent siblings that
+  // fall on i's side of the cut.
+  for (std::uint32_t i = 1; i < n; ++i) {
+    const std::uint32_t p = tree.parent[i];
+    const std::int64_t f = dinic.max_flow(i, p);
+    tree.cut_value[i] = f;
+    const std::vector<char> side = dinic.min_cut_side(i);
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (tree.parent[j] == p && side[j]) tree.parent[j] = i;
+    }
+  }
+  return tree;
+}
+
+}  // namespace dp

@@ -1,0 +1,37 @@
+#pragma once
+// Gomory-Hu tree (Gusfield's simplification): n-1 max-flow computations
+// produce a tree whose path-minimum edge equals the s-t min cut for every
+// vertex pair. The odd-set separation of Lemma 24/25 enumerates tree edges
+// to find all low-capacity odd cuts (Padberg-Rao).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dp {
+
+struct GomoryHuTree {
+  /// parent[v] for v != root (root = 0); parent[0] == 0.
+  std::vector<std::uint32_t> parent;
+  /// cut_value[v] = min-cut between v and parent[v].
+  std::vector<std::int64_t> cut_value;
+
+  std::size_t size() const noexcept { return parent.size(); }
+
+  /// Min s-t cut value via the path minimum in the tree. O(n) walk.
+  std::int64_t min_cut(std::uint32_t s, std::uint32_t t) const;
+
+  /// The side of the (v, parent[v]) fundamental cut containing v:
+  /// exactly the vertices whose tree path to the root passes through v.
+  std::vector<std::uint32_t> cut_side(std::uint32_t v) const;
+};
+
+/// Build the Gomory-Hu tree of an undirected graph with integer edge
+/// capacities. `cap[e]` is the capacity of graph edge e (parallel edges are
+/// summed). Isolated vertices get cut 0 to the root.
+GomoryHuTree gomory_hu(std::size_t n,
+                       const std::vector<Edge>& edges,
+                       const std::vector<std::int64_t>& cap);
+
+}  // namespace dp

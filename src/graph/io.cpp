@@ -1,0 +1,62 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace dp {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << std::setprecision(17);  // exact double round trip
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (const Edge& e : g.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.w << '\n';
+  }
+}
+
+void write_graph_file(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_graph_file: cannot open " + path);
+  write_graph(os, g);
+}
+
+Graph read_graph(std::istream& is) {
+  std::string line;
+  std::size_t n = 0, m = 0;
+  bool have_header = false;
+  Graph g;
+  std::size_t edges_read = 0;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (ls >> n >> m) {
+        have_header = true;
+        g = Graph(n);
+      }
+      continue;
+    }
+    Vertex u, v;
+    double w = 1.0;
+    if (ls >> u >> v) {
+      ls >> w;  // weight optional
+      g.add_edge(u, v, w);
+      ++edges_read;
+    }
+  }
+  if (!have_header) throw std::runtime_error("read_graph: missing header");
+  if (edges_read != m) {
+    throw std::runtime_error("read_graph: edge count mismatch");
+  }
+  return g;
+}
+
+Graph read_graph_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_graph_file: cannot open " + path);
+  return read_graph(is);
+}
+
+}  // namespace dp

@@ -1,0 +1,21 @@
+#pragma once
+// Plain-text graph I/O: whitespace-separated "u v w" lines with an optional
+// "n m" header; '#' comments allowed. Enough to round-trip experiment inputs.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dp {
+
+/// Write "n m" header followed by one "u v w" line per edge.
+void write_graph(std::ostream& os, const Graph& g);
+void write_graph_file(const std::string& path, const Graph& g);
+
+/// Parse the format produced by write_graph. Throws std::runtime_error on
+/// malformed input.
+Graph read_graph(std::istream& is);
+Graph read_graph_file(const std::string& path);
+
+}  // namespace dp

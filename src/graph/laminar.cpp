@@ -1,0 +1,77 @@
+#include "graph/laminar.hpp"
+
+#include <algorithm>
+
+namespace dp {
+
+SetRelation classify_sets(const std::vector<Vertex>& a,
+                          const std::vector<Vertex>& b) {
+  std::size_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  if (common == 0) return SetRelation::kDisjoint;
+  if (common == a.size() && common == b.size()) return SetRelation::kEqual;
+  if (common == a.size()) return SetRelation::kASubsetB;
+  if (common == b.size()) return SetRelation::kBSubsetA;
+  return SetRelation::kCrossing;
+}
+
+std::size_t LaminarFamily::add(std::vector<Vertex> set) {
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  sets_.push_back(std::move(set));
+  return sets_.size() - 1;
+}
+
+bool LaminarFamily::is_laminar() const {
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets_.size(); ++j) {
+      if (classify_sets(sets_[i], sets_[j]) == SetRelation::kCrossing) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool LaminarFamily::is_disjoint() const {
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    for (std::size_t j = i + 1; j < sets_.size(); ++j) {
+      if (classify_sets(sets_[i], sets_[j]) != SetRelation::kDisjoint) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::size_t> LaminarFamily::order_by_decreasing_b(
+    const Capacities& b) const {
+  std::vector<std::size_t> idx(sets_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::vector<std::int64_t> weight(sets_.size());
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    weight[i] = b.weight_of(sets_[i]);
+  }
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+    return weight[x] > weight[y];
+  });
+  return idx;
+}
+
+bool LaminarFamily::contains(std::size_t i, Vertex v) const {
+  const auto& s = sets_[i];
+  return std::binary_search(s.begin(), s.end(), v);
+}
+
+}  // namespace dp

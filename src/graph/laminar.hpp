@@ -1,0 +1,50 @@
+#pragma once
+// Laminar families of vertex sets.
+//
+// Theorem 22 of the paper shows the b-matching dual always has an optimal
+// solution whose support {U : z_U > 0} is laminar; Algorithm 7 consumes the
+// sets in decreasing ||U||_b order. This container stores vertex sets,
+// checks laminarity, and provides that ordering.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dp {
+
+/// A family of vertex subsets with laminarity checking. Sets are stored
+/// sorted by vertex id.
+class LaminarFamily {
+ public:
+  /// Add a set (vertices need not be sorted; duplicates removed).
+  /// Returns its index.
+  std::size_t add(std::vector<Vertex> set);
+
+  std::size_t size() const noexcept { return sets_.size(); }
+  const std::vector<Vertex>& set(std::size_t i) const { return sets_[i]; }
+
+  /// True if every pair of sets is nested or disjoint.
+  bool is_laminar() const;
+
+  /// True if all pairs of sets are disjoint (stronger than laminar).
+  bool is_disjoint() const;
+
+  /// Indices ordered by decreasing ||U||_b (ties by index).
+  std::vector<std::size_t> order_by_decreasing_b(const Capacities& b) const;
+
+  /// True if vertex v belongs to set i (binary search).
+  bool contains(std::size_t i, Vertex v) const;
+
+ private:
+  std::vector<std::vector<Vertex>> sets_;
+};
+
+/// Relation of two sorted vertex sets: disjoint / a subset of b /
+/// b subset of a / crossing.
+enum class SetRelation { kDisjoint, kASubsetB, kBSubsetA, kEqual, kCrossing };
+
+SetRelation classify_sets(const std::vector<Vertex>& a,
+                          const std::vector<Vertex>& b);
+
+}  // namespace dp

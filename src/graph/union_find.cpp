@@ -1,0 +1,37 @@
+#include "graph/union_find.hpp"
+
+namespace dp {
+
+void UnionFind::reset(std::size_t n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    parent_[i] = static_cast<std::uint32_t>(i);
+  }
+  components_ = n;
+}
+
+std::uint32_t UnionFind::find(std::uint32_t x) noexcept {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::unite(std::uint32_t a, std::uint32_t b) noexcept {
+  a = find(a);
+  b = find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) {
+    std::uint32_t t = a;
+    a = b;
+    b = t;
+  }
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --components_;
+  return true;
+}
+
+}  // namespace dp

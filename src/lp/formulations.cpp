@@ -1,0 +1,278 @@
+#include "lp/formulations.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace dp::lp {
+
+std::vector<std::vector<Vertex>> enumerate_odd_sets(std::size_t n,
+                                                    const Capacities& b,
+                                                    std::size_t max_size) {
+  if (n > 20) {
+    throw std::invalid_argument("enumerate_odd_sets: n too large");
+  }
+  std::vector<std::vector<Vertex>> sets;
+  const std::size_t states = std::size_t{1} << n;
+  for (std::size_t mask = 1; mask < states; ++mask) {
+    if (__builtin_popcountll(mask) < 3) continue;
+    std::int64_t total = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask >> v & 1) total += b[static_cast<Vertex>(v)];
+    }
+    if (total % 2 == 0) continue;
+    if (max_size > 0 && static_cast<std::size_t>(total) > max_size) continue;
+    std::vector<Vertex> set;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (mask >> v & 1) set.push_back(static_cast<Vertex>(v));
+    }
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+namespace {
+
+bool edge_inside(const Edge& e, const std::vector<Vertex>& set) {
+  bool u_in = false, v_in = false;
+  for (Vertex x : set) {
+    if (x == e.u) u_in = true;
+    if (x == e.v) v_in = true;
+  }
+  return u_in && v_in;
+}
+
+}  // namespace
+
+DenseLP build_matching_lp(const Graph& g, const Capacities& b,
+                          bool include_odd_sets) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  DenseLP lp;
+  lp.c.resize(m);
+  for (EdgeId e = 0; e < m; ++e) lp.c[e] = g.edge(e).w;
+
+  // Degree constraints.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(m, 0.0);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (g.edge(e).u == i || g.edge(e).v == i) row[e] = 1.0;
+    }
+    lp.A.push_back(std::move(row));
+    lp.b.push_back(static_cast<double>(b[static_cast<Vertex>(i)]));
+  }
+  if (include_odd_sets) {
+    for (const auto& set : enumerate_odd_sets(n, b)) {
+      std::vector<double> row(m, 0.0);
+      for (EdgeId e = 0; e < m; ++e) {
+        if (edge_inside(g.edge(e), set)) row[e] = 1.0;
+      }
+      lp.A.push_back(std::move(row));
+      lp.b.push_back(std::floor(static_cast<double>(b.weight_of(set)) / 2));
+    }
+  }
+  return lp;
+}
+
+DenseLP build_penalty_lp_unweighted(const Graph& g, const Capacities& b) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  DenseLP lp;
+  // Variables: y_e (m), mu_i (n).
+  lp.c.assign(m + n, 0.0);
+  for (EdgeId e = 0; e < m; ++e) lp.c[e] = 1.0;
+  for (std::size_t i = 0; i < n; ++i) lp.c[m + i] = -3.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(m + n, 0.0);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (g.edge(e).u == i || g.edge(e).v == i) row[e] = 1.0;
+    }
+    row[m + i] = -2.0;
+    lp.A.push_back(std::move(row));
+    lp.b.push_back(static_cast<double>(b[static_cast<Vertex>(i)]));
+  }
+  for (const auto& set : enumerate_odd_sets(n, b)) {
+    std::vector<double> row(m + n, 0.0);
+    for (EdgeId e = 0; e < m; ++e) {
+      if (edge_inside(g.edge(e), set)) row[e] = 1.0;
+    }
+    for (Vertex v : set) row[m + v] = -1.0;
+    lp.A.push_back(std::move(row));
+    lp.b.push_back(std::floor(static_cast<double>(b.weight_of(set)) / 2));
+  }
+  return lp;
+}
+
+DenseLP build_layered_penalty_lp(const Graph& g, const Capacities& b,
+                                 double eps) {
+  const std::size_t n = g.num_vertices();
+  const std::size_t m = g.num_edges();
+  const WeightClasses classes(eps);
+  int max_level = 0;
+  std::vector<int> level(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    level[e] = classes.level_of(g.edge(e).w);
+    max_level = std::max(max_level, level[e]);
+  }
+  const int L = max_level + 1;  // levels 0..max_level
+
+  // Variables: y_e (m), mu_{i,k} (n*L), y_i(k) (n*L).
+  const std::size_t mu0 = m;
+  const std::size_t yk0 = m + n * static_cast<std::size_t>(L);
+  const std::size_t total = yk0 + n * static_cast<std::size_t>(L);
+  auto mu_idx = [&](std::size_t i, int k) {
+    return mu0 + i * static_cast<std::size_t>(L) + static_cast<std::size_t>(k);
+  };
+  auto yk_idx = [&](std::size_t i, int k) {
+    return yk0 + i * static_cast<std::size_t>(L) + static_cast<std::size_t>(k);
+  };
+
+  DenseLP lp;
+  lp.c.assign(total, 0.0);
+  for (EdgeId e = 0; e < m; ++e) {
+    lp.c[e] = classes.weight_of(level[e]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < L; ++k) {
+      lp.c[mu_idx(i, k)] = -3.0 * classes.weight_of(k);
+    }
+  }
+
+  // (1) Per (i, k): sum_{e in E_k at i} y_e - 2 mu_{ik} - y_i(k) <= 0.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < L; ++k) {
+      std::vector<double> row(total, 0.0);
+      bool any = false;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (level[e] != k) continue;
+        if (g.edge(e).u == i || g.edge(e).v == i) {
+          row[e] = 1.0;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      row[mu_idx(i, k)] = -2.0;
+      row[yk_idx(i, k)] = -1.0;
+      lp.A.push_back(std::move(row));
+      lp.b.push_back(0.0);
+    }
+  }
+  // (2) Per i: sum_k y_i(k) <= b_i.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> row(total, 0.0);
+    for (int k = 0; k < L; ++k) row[yk_idx(i, k)] = 1.0;
+    lp.A.push_back(std::move(row));
+    lp.b.push_back(static_cast<double>(b[static_cast<Vertex>(i)]));
+  }
+  // (3) Per (U, l): sum_{k >= l} ( sum_{e in E_k[U]} y_e -
+  //     sum_{i in U} mu_{ik} ) <= floor(||U||_b / 2).
+  for (const auto& set : enumerate_odd_sets(n, b)) {
+    for (int l = 0; l < L; ++l) {
+      std::vector<double> row(total, 0.0);
+      bool any = false;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (level[e] >= l && edge_inside(g.edge(e), set)) {
+          row[e] = 1.0;
+          any = true;
+        }
+      }
+      if (!any) continue;
+      for (Vertex v : set) {
+        for (int k = l; k < L; ++k) row[mu_idx(v, k)] = -1.0;
+      }
+      lp.A.push_back(std::move(row));
+      lp.b.push_back(std::floor(static_cast<double>(b.weight_of(set)) / 2));
+    }
+  }
+  return lp;
+}
+
+double lp_optimum(const DenseLP& lp) {
+  const SimplexResult result = solve_simplex(lp);
+  if (result.status != SimplexStatus::kOptimal) {
+    throw std::runtime_error("lp_optimum: simplex did not reach optimality");
+  }
+  return result.value;
+}
+
+double row_width(const std::vector<double>& a, double c,
+                 const std::vector<std::vector<double>>& P,
+                 const std::vector<double>& q) {
+  DenseLP lp;
+  lp.c = a;
+  lp.A = P;
+  lp.b = q;
+  const SimplexResult result = solve_simplex(lp);
+  if (result.status == SimplexStatus::kUnbounded) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (result.status != SimplexStatus::kOptimal) {
+    throw std::runtime_error("row_width: simplex failed");
+  }
+  return result.value / c;
+}
+
+WidthReport measure_dual_widths(const Graph& g, const Capacities& b,
+                                double beta) {
+  const std::size_t n = g.num_vertices();
+  const auto odd_sets = enumerate_odd_sets(n, b);
+  const std::size_t vars = n + odd_sets.size();  // x_i then z_U
+
+  // Covering rows: one per edge, x_i + x_j + sum_{U containing both} z_U.
+  std::vector<std::vector<double>> rows;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::vector<double> a(vars, 0.0);
+    a[g.edge(e).u] += 1.0;
+    a[g.edge(e).v] += 1.0;
+    for (std::size_t s = 0; s < odd_sets.size(); ++s) {
+      if (edge_inside(g.edge(e), odd_sets[s])) a[n + s] = 1.0;
+    }
+    rows.push_back(std::move(a));
+  }
+
+  WidthReport report;
+
+  // Standard dual (LP2) under the budget polytope b^T x <= beta only.
+  {
+    std::vector<std::vector<double>> P(1, std::vector<double>(vars, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      P[0][i] = static_cast<double>(b[static_cast<Vertex>(i)]);
+    }
+    for (std::size_t s = 0; s < odd_sets.size(); ++s) {
+      P[0][n + s] =
+          std::floor(static_cast<double>(b.weight_of(odd_sets[s])) / 2);
+    }
+    std::vector<double> q{beta};
+    for (const auto& a : rows) {
+      report.standard_width =
+          std::max(report.standard_width, row_width(a, 1.0, P, q));
+    }
+  }
+  // Penalty dual (LP4) under 2 x_i + sum_{U ni i} z_U <= 3 for every i.
+  {
+    std::vector<std::vector<double>> P(n, std::vector<double>(vars, 0.0));
+    std::vector<double> q(n, 3.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      P[i][i] = 2.0;
+      for (std::size_t s = 0; s < odd_sets.size(); ++s) {
+        for (Vertex v : odd_sets[s]) {
+          if (v == i) {
+            P[i][n + s] = 1.0;
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& a : rows) {
+      report.penalty_width =
+          std::max(report.penalty_width, row_width(a, 1.0, P, q));
+    }
+  }
+  return report;
+}
+
+}  // namespace dp::lp

@@ -1,0 +1,63 @@
+#pragma once
+// Explicit constructions of the paper's LP relaxations on small graphs, for
+// numeric validation of the structural theorems:
+//
+//   LP1  (= LP6 after weight discretization): exact b-matching LP with
+//        odd-set constraints — primal, maximization.
+//   LP3:  penalty formulation for unweighted matching (Section 1).
+//   LP12 (dual of LP10): layered penalty formulation for weighted
+//        b-matching — the relaxation behind Theorem 23.
+//
+// All builders enumerate odd sets explicitly and are limited to small n.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lp/simplex.hpp"
+
+namespace dp::lp {
+
+/// All vertex subsets U with |U| >= 3 and ||U||_b odd (the constraint for
+/// |U| = 1 is vacuous). Requires n <= 20.
+std::vector<std::vector<Vertex>> enumerate_odd_sets(std::size_t n,
+                                                    const Capacities& b,
+                                                    std::size_t max_size = 0);
+
+/// LP1 / LP6: max sum w_e y_e s.t. degree <= b, odd sets, y >= 0.
+/// If `include_odd_sets` is false this is the bipartite relaxation.
+DenseLP build_matching_lp(const Graph& g, const Capacities& b,
+                          bool include_odd_sets);
+
+/// LP3 (paper, unweighted w_ij = 1): max sum y_e - 3 sum mu_i with the
+/// penalty-relaxed degree and odd-set constraints. Variable order:
+/// y_0..y_{m-1}, mu_0..mu_{n-1}.
+DenseLP build_penalty_lp_unweighted(const Graph& g, const Capacities& b);
+
+/// LP12 = dual of LP10 (layered penalty formulation, weighted). Weights of
+/// g must already be discretized to powers of (1+eps); `eps` defines the
+/// level structure. Variable order: y_e (m), then mu_{i,k} (n*L), then
+/// y_i(k) (n*L), where L = number of levels present.
+DenseLP build_layered_penalty_lp(const Graph& g, const Capacities& b,
+                                 double eps);
+
+/// Optimal value of a DenseLP (throws on non-optimal status).
+double lp_optimum(const DenseLP& lp);
+
+/// Width of a covering row a^T x >= c under polytope
+/// {x >= 0, P x <= q}: max a^T x / c. Computed by simplex. Infinity when
+/// unbounded.
+double row_width(const std::vector<double>& a, double c,
+                 const std::vector<std::vector<double>>& P,
+                 const std::vector<double>& q);
+
+/// Width diagnostics for the matching duals on graph g (unweighted):
+/// standard dual LP2 under the budget polytope {b^T x <= beta} versus the
+/// penalty dual LP4 under {2 x_i + sum_{U ni i} z_U <= 3}.
+struct WidthReport {
+  double standard_width = 0;  // grows with beta ~ n
+  double penalty_width = 0;   // paper: <= 6, parameter free
+};
+WidthReport measure_dual_widths(const Graph& g, const Capacities& b,
+                                double beta);
+
+}  // namespace dp::lp

@@ -1,0 +1,158 @@
+#include "lp/pst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dp::lp {
+
+namespace {
+
+double min_ratio(const std::vector<double>& ax, const std::vector<double>& c) {
+  double lambda = 1e300;
+  for (std::size_t l = 0; l < c.size(); ++l) {
+    lambda = std::min(lambda, ax[l] / c[l]);
+  }
+  return lambda;
+}
+
+double max_ratio(const std::vector<double>& ax, const std::vector<double>& d) {
+  double lambda = 0;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    lambda = std::max(lambda, ax[r] / d[r]);
+  }
+  return lambda;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void blend(std::vector<double>& acc, const std::vector<double>& next,
+           double sigma) {
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] = (1.0 - sigma) * acc[i] + sigma * next[i];
+  }
+}
+
+}  // namespace
+
+std::vector<double> covering_multipliers(const std::vector<double>& ax,
+                                         const std::vector<double>& c,
+                                         double alpha) {
+  // u_l ~ exp(-alpha ax_l / c_l) / c_l; shift exponents so the largest is 0.
+  std::vector<double> expo(c.size());
+  double max_expo = -1e300;
+  for (std::size_t l = 0; l < c.size(); ++l) {
+    expo[l] = -alpha * ax[l] / c[l];
+    max_expo = std::max(max_expo, expo[l]);
+  }
+  std::vector<double> u(c.size());
+  for (std::size_t l = 0; l < c.size(); ++l) {
+    u[l] = std::exp(expo[l] - max_expo) / c[l];
+  }
+  return u;
+}
+
+std::vector<double> packing_multipliers(const std::vector<double>& ax,
+                                        const std::vector<double>& d,
+                                        double alpha) {
+  std::vector<double> expo(d.size());
+  double max_expo = -1e300;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    expo[r] = alpha * ax[r] / d[r];
+    max_expo = std::max(max_expo, expo[r]);
+  }
+  std::vector<double> z(d.size());
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    z[r] = std::exp(expo[r] - max_expo) / d[r];
+  }
+  return z;
+}
+
+CoveringResult fractional_covering(const CoveringProblem& problem) {
+  const std::size_t M = problem.c.size();
+  if (M == 0) throw std::invalid_argument("fractional_covering: empty c");
+  const double eps = problem.eps;
+
+  CoveringResult result;
+  result.point = problem.initial;
+  if (result.point.ax.size() != M) {
+    throw std::invalid_argument("fractional_covering: initial ax size");
+  }
+
+  while (result.oracle_calls < problem.max_oracle_calls) {
+    const double lambda = min_ratio(result.point.ax, problem.c);
+    result.lambda = lambda;
+    if (lambda >= 1.0 - 3.0 * eps) {
+      result.feasible = true;
+      return result;
+    }
+    // alpha as in Theorem 5 (lambda-adaptive phases collapsed into a
+    // continuous schedule; the guard keeps alpha finite near lambda = 0).
+    const double lambda_floor = std::max(lambda, eps / (8.0 * M));
+    const double alpha = 2.0 * std::log(2.0 * M / eps) / (lambda_floor * eps);
+    const std::vector<double> u =
+        covering_multipliers(result.point.ax, problem.c, alpha);
+
+    const auto answer = problem.oracle(u);
+    ++result.oracle_calls;
+    if (!answer.has_value() ||
+        dot(u, answer->ax) < (1.0 - eps / 2.0) * dot(u, problem.c)) {
+      result.feasible = false;
+      result.certificate = u;
+      return result;
+    }
+    const double sigma =
+        std::min(1.0, eps / (4.0 * alpha * std::max(problem.rho, 1.0)));
+    blend(result.point.x, answer->x, sigma);
+    blend(result.point.ax, answer->ax, sigma);
+  }
+  result.lambda = min_ratio(result.point.ax, problem.c);
+  result.feasible = result.lambda >= 1.0 - 3.0 * eps;
+  return result;
+}
+
+PackingResult fractional_packing(const PackingProblem& problem) {
+  const std::size_t M = problem.d.size();
+  if (M == 0) throw std::invalid_argument("fractional_packing: empty d");
+  const double delta = problem.delta;
+
+  PackingResult result;
+  result.point = problem.initial;
+  if (result.point.ax.size() != M) {
+    throw std::invalid_argument("fractional_packing: initial ax size");
+  }
+
+  while (result.oracle_calls < problem.max_oracle_calls) {
+    const double lambda = max_ratio(result.point.ax, problem.d);
+    result.lambda = lambda;
+    if (lambda <= 1.0 + 6.0 * delta) {
+      result.feasible = true;
+      return result;
+    }
+    const double alpha =
+        2.0 * std::log(2.0 * M / delta) / (delta / std::max(lambda, 1.0));
+    const std::vector<double> z =
+        packing_multipliers(result.point.ax, problem.d, alpha);
+
+    const auto answer = problem.oracle(z);
+    ++result.oracle_calls;
+    if (!answer.has_value() ||
+        dot(z, answer->ax) > (1.0 + delta / 2.0) * dot(z, problem.d)) {
+      result.feasible = false;
+      return result;
+    }
+    const double sigma =
+        std::min(1.0, delta / (4.0 * alpha * std::max(problem.rho, 1.0)));
+    blend(result.point.x, answer->x, sigma);
+    blend(result.point.ax, answer->ax, sigma);
+  }
+  result.lambda = max_ratio(result.point.ax, problem.d);
+  result.feasible = result.lambda <= 1.0 + 6.0 * delta;
+  return result;
+}
+
+}  // namespace dp::lp

@@ -1,0 +1,91 @@
+#pragma once
+// Plotkin-Shmoys-Tardos fractional covering and packing engines —
+// Theorems 5 and 7 of the paper (with the Corollary 6/8 relaxed-oracle
+// modifications).
+//
+// These are the generic multiplicative-weight solvers the dual-primal
+// framework instantiates: the OUTER loop is a fractional covering solve of
+// the (penalty) dual, and each MiniOracle invocation is itself an inner
+// fractional packing solve. The engines are problem-agnostic: the caller
+// supplies the constraint targets, a width bound, an initial point, and an
+// oracle over the implicit polytope P.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace dp::lp {
+
+/// A point of the implicit polytope P together with its constraint image.
+struct OraclePoint {
+  std::vector<double> x;   // coordinates in P (caller-defined meaning)
+  std::vector<double> ax;  // A x (covering) or Ap x (packing), length M
+};
+
+// ---------------------------------------------------------------------------
+// Covering: decide { A x >= c, x in P }, A >= 0, c > 0, 0 <= Ax <= rho*c
+// on P. Oracle receives multipliers u and must (approximately) maximize
+// u^T A x over P; returning nullopt asserts max_x u^T A x < (1-eps/2) u^T c,
+// certifying infeasibility.
+// ---------------------------------------------------------------------------
+
+struct CoveringProblem {
+  std::vector<double> c;
+  double rho = 1.0;
+  double eps = 0.1;
+  OraclePoint initial;  // must satisfy A x0 >= (1 - eps0) c with eps0 < 1
+  std::function<std::optional<OraclePoint>(const std::vector<double>& u)>
+      oracle;
+  std::size_t max_oracle_calls = 1'000'000;
+};
+
+struct CoveringResult {
+  /// True: found x with A x >= (1 - 3 eps) c.
+  bool feasible = false;
+  OraclePoint point;                // final averaged point
+  std::vector<double> certificate;  // u with u^T A x < u^T c on P (if infeasible)
+  std::size_t oracle_calls = 0;
+  double lambda = 0.0;  // final min_l (Ax)_l / c_l
+};
+
+CoveringResult fractional_covering(const CoveringProblem& problem);
+
+// ---------------------------------------------------------------------------
+// Packing: find { Ap x <= (1 + 6 delta) d, x in Pp } given a feasible-ish
+// start Ap x0 <= delta0 * d. Oracle minimizes z^T Ap x over Pp; returning
+// nullopt asserts min_x z^T Ap x > (1 + delta/2) z^T d (infeasible).
+// ---------------------------------------------------------------------------
+
+struct PackingProblem {
+  std::vector<double> d;
+  double rho = 1.0;  // 0 <= Ap x <= rho * d on Pp
+  double delta = 0.1;
+  OraclePoint initial;
+  std::function<std::optional<OraclePoint>(const std::vector<double>& z)>
+      oracle;
+  std::size_t max_oracle_calls = 1'000'000;
+};
+
+struct PackingResult {
+  bool feasible = false;
+  OraclePoint point;
+  std::size_t oracle_calls = 0;
+  double lambda = 0.0;  // final max_r (Ap x)_r / d_r
+};
+
+PackingResult fractional_packing(const PackingProblem& problem);
+
+/// Multiplier vector for a covering iterate: u_l proportional to
+/// exp(-alpha (Ax)_l / c_l) / c_l, computed with overflow-safe shifting.
+/// Exposed so the specialized matching solver shares the exact rule.
+std::vector<double> covering_multipliers(const std::vector<double>& ax,
+                                         const std::vector<double>& c,
+                                         double alpha);
+
+/// Packing multipliers: z_r proportional to exp(+alpha (Ax)_r / d_r) / d_r.
+std::vector<double> packing_multipliers(const std::vector<double>& ax,
+                                        const std::vector<double>& d,
+                                        double alpha);
+
+}  // namespace dp::lp

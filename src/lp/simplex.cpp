@@ -1,0 +1,97 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dp::lp {
+
+SimplexResult solve_simplex(const DenseLP& lp, std::size_t max_pivots) {
+  const std::size_t m = lp.num_constraints();
+  const std::size_t n = lp.num_vars();
+  for (double bi : lp.b) {
+    if (bi < -1e-9) {
+      throw std::invalid_argument("solve_simplex: requires b >= 0");
+    }
+  }
+  if (max_pivots == 0) max_pivots = 2000 + 50 * (m + n) * (m + n);
+
+  // Tableau: m rows of [A | I | b], objective row [-c | 0 | 0].
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<double>> t(m + 1, std::vector<double>(cols, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = lp.A[i][j];
+    t[i][n + i] = 1.0;
+    t[i][cols - 1] = std::max(0.0, lp.b[i]);
+  }
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = -lp.c[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  constexpr double kEps = 1e-9;
+  SimplexResult result;
+  std::size_t pivots = 0;
+  for (;;) {
+    // Entering column: Bland's rule (first negative reduced cost).
+    std::size_t enter = cols;
+    for (std::size_t j = 0; j + 1 < cols; ++j) {
+      if (t[m][j] < -kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == cols) {
+      result.status = SimplexStatus::kOptimal;
+      break;
+    }
+    // Ratio test: Bland tie-break by smallest basis index.
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][enter] > kEps) {
+        const double ratio = t[i][cols - 1] / t[i][enter];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == m || basis[i] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == m) {
+      result.status = SimplexStatus::kUnbounded;
+      return result;
+    }
+    // Pivot.
+    const double pivot = t[leave][enter];
+    for (std::size_t j = 0; j < cols; ++j) t[leave][j] /= pivot;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == leave) continue;
+      const double factor = t[i][enter];
+      if (std::fabs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < cols; ++j) {
+        t[i][j] -= factor * t[leave][j];
+      }
+    }
+    basis[leave] = enter;
+    if (++pivots > max_pivots) {
+      result.status = SimplexStatus::kIterationLimit;
+      return result;
+    }
+  }
+
+  result.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) result.x[basis[i]] = t[i][cols - 1];
+  }
+  result.value = t[m][cols - 1];
+  // Duals: reduced costs of the slack columns.
+  result.dual.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    result.dual[i] = t[m][n + i];
+  }
+  return result;
+}
+
+}  // namespace dp::lp

@@ -1,0 +1,36 @@
+#pragma once
+// Small dense LP solver (primal simplex, Bland's rule).
+//
+// Solves  max c^T x  s.t.  A x <= b,  x >= 0  with b >= 0, which covers
+// every explicit formulation in the paper once covering constraints are
+// negated. Intended for the numeric validation of the paper's relaxations
+// (LP1-LP12, Theorems 22/23) on small graphs — not for production solves.
+
+#include <vector>
+
+namespace dp::lp {
+
+/// maximize c.x subject to A x <= b, x >= 0.
+struct DenseLP {
+  std::vector<std::vector<double>> A;  // m rows of n coefficients
+  std::vector<double> b;               // m
+  std::vector<double> c;               // n
+
+  std::size_t num_constraints() const noexcept { return A.size(); }
+  std::size_t num_vars() const noexcept { return c.size(); }
+};
+
+enum class SimplexStatus { kOptimal, kUnbounded, kIterationLimit };
+
+struct SimplexResult {
+  SimplexStatus status = SimplexStatus::kIterationLimit;
+  double value = 0.0;
+  std::vector<double> x;     // primal solution
+  std::vector<double> dual;  // dual values (one per constraint, >= 0)
+};
+
+/// Solve with a bounded number of pivots (default scales with problem
+/// size). Requires b >= -1e-9 (a slack basis must be feasible).
+SimplexResult solve_simplex(const DenseLP& lp, std::size_t max_pivots = 0);
+
+}  // namespace dp::lp

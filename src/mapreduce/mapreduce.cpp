@@ -1,0 +1,83 @@
+#include "mapreduce/mapreduce.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace dp::mapreduce {
+
+ReducerMemoryExceeded::ReducerMemoryExceeded(std::size_t key, std::size_t got,
+                                             std::size_t cap)
+    : std::runtime_error([&] {
+        std::ostringstream os;
+        os << "reducer for key " << key << " received " << got
+           << " values, exceeding the memory cap " << cap;
+        return os.str();
+      }()) {}
+
+Simulator::Simulator(Config config, ResourceMeter* meter)
+    : config_(config), meter_(meter), pool_(config.threads) {
+  if (config_.machines == 0) config_.machines = 1;
+}
+
+std::vector<KeyValue> Simulator::round(
+    const std::vector<KeyValue>& input,
+    const std::function<void(const std::vector<KeyValue>&,
+                             std::vector<KeyValue>&)>& mapper,
+    const std::function<void(std::uint64_t, const std::vector<std::uint64_t>&,
+                             std::vector<KeyValue>&)>& reducer) {
+  ++rounds_;
+  if (meter_ != nullptr) {
+    meter_->add_round();
+  }
+
+  // ---- Map phase: shard input contiguously, run mappers in parallel. ----
+  const std::size_t shards = config_.machines;
+  const std::size_t shard_size = (input.size() + shards - 1) / shards;
+  std::vector<std::vector<KeyValue>> mapped(shards);
+  pool_.parallel_for(0, shards, [&](std::size_t s) {
+    const std::size_t lo = s * shard_size;
+    const std::size_t hi = std::min(input.size(), lo + shard_size);
+    if (lo >= hi && !(s == 0 && input.empty())) return;
+    std::vector<KeyValue> shard(input.begin() + static_cast<long>(lo),
+                                input.begin() + static_cast<long>(hi));
+    mapper(shard, mapped[s]);
+  });
+
+  // ---- Shuffle: group by key (single-threaded; metered as messages). ----
+  std::size_t shuffle_volume = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> grouped;
+  for (const auto& out : mapped) {
+    shuffle_volume += out.size();
+    for (const KeyValue& kv : out) grouped[kv.key].push_back(kv.value);
+  }
+  if (meter_ != nullptr) meter_->add_messages(shuffle_volume);
+
+  if (config_.reducer_memory > 0) {
+    for (const auto& [key, values] : grouped) {
+      if (values.size() > config_.reducer_memory) {
+        throw ReducerMemoryExceeded(key, values.size(),
+                                    config_.reducer_memory);
+      }
+    }
+  }
+
+  // ---- Reduce phase: parallel over keys. ----
+  std::vector<std::uint64_t> keys;
+  keys.reserve(grouped.size());
+  for (const auto& [key, values] : grouped) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());  // deterministic order
+
+  std::vector<std::vector<KeyValue>> reduced(keys.size());
+  pool_.parallel_for(0, keys.size(), [&](std::size_t i) {
+    reducer(keys[i], grouped.at(keys[i]), reduced[i]);
+  });
+
+  std::vector<KeyValue> output;
+  for (const auto& r : reduced) {
+    output.insert(output.end(), r.begin(), r.end());
+  }
+  return output;
+}
+
+}  // namespace dp::mapreduce

@@ -1,0 +1,74 @@
+#pragma once
+// MapReduce simulator.
+//
+// Models the constrained-parallelism setting of the paper (Lattanzi et al.
+// SPAA'11, Section 1): computation proceeds in synchronous rounds; each
+// round maps over the (distributed) input, shuffles key/value pairs, and
+// reduces per key under a per-reducer memory cap. The simulator meters
+// rounds, shuffle volume (messages), and enforces the reducer memory cap —
+// the quantities the paper's model constrains — while executing mappers and
+// reducers in parallel on a thread pool for physical speed.
+//
+// Values are 64-bit words (enough for edge ids / packed edges / sketch
+// words); richer payloads pack into multiple words.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "util/accounting.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dp::mapreduce {
+
+struct KeyValue {
+  std::uint64_t key;
+  std::uint64_t value;
+};
+
+struct Config {
+  /// Number of simulated machines (mapper shards).
+  std::size_t machines = 8;
+  /// Maximum values a single reducer may receive; 0 = unlimited. Models the
+  /// O(n^{1+1/p}) central-processing cap.
+  std::size_t reducer_memory = 0;
+  /// Worker threads for physical execution (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Thrown when a reducer receives more values than Config::reducer_memory.
+class ReducerMemoryExceeded : public std::runtime_error {
+ public:
+  explicit ReducerMemoryExceeded(std::size_t key, std::size_t got,
+                                 std::size_t cap);
+};
+
+class Simulator {
+ public:
+  explicit Simulator(Config config, ResourceMeter* meter = nullptr);
+
+  /// Execute one MapReduce round.
+  ///
+  /// * `input` is sharded contiguously across machines.
+  /// * `mapper(shard, emit)` runs once per machine over its shard.
+  /// * `reducer(key, values, emit)` runs once per distinct key.
+  ///
+  /// Returns all reducer emissions. Counts one round and |shuffle| messages.
+  std::vector<KeyValue> round(
+      const std::vector<KeyValue>& input,
+      const std::function<void(const std::vector<KeyValue>&,
+                               std::vector<KeyValue>&)>& mapper,
+      const std::function<void(std::uint64_t, const std::vector<std::uint64_t>&,
+                               std::vector<KeyValue>&)>& reducer);
+
+  std::size_t rounds_executed() const noexcept { return rounds_; }
+
+ private:
+  Config config_;
+  ResourceMeter* meter_;
+  ThreadPool pool_;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace dp::mapreduce

@@ -1,0 +1,43 @@
+#pragma once
+// Offline approximate weighted matching on in-memory (sub)graphs.
+//
+// Algorithm 2 of the paper invokes a near-linear offline
+// (1-a3)-approximation (Duan-Pettie / Ahn-Guha SODA'14) on the union of the
+// stored deferred sparsifiers. This module provides that role:
+//   * exact blossom for small instances (n <= exact_threshold), and
+//   * greedy + local-search (one-for-two swaps, two-for-one augmentations,
+//     free-edge insertion) to convergence otherwise.
+// The local search alone guarantees >= 1/2 and empirically lands at 0.9+ of
+// optimal (validated against the exact solvers in the test suite).
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+
+namespace dp {
+
+struct ApproxOptions {
+  /// Use the exact O(n^3) blossom when the graph has at most this many
+  /// vertices (0 disables exact dispatch).
+  std::size_t exact_threshold = 400;
+  /// Maximum improvement sweeps of local search.
+  std::size_t max_rounds = 64;
+  /// Random seed for sweep order.
+  std::uint64_t seed = 1;
+};
+
+/// Approximate maximum weight matching.
+Matching approx_weighted_matching(const Graph& g, const ApproxOptions& opts);
+Matching approx_weighted_matching(const Graph& g);
+
+/// Local-search-only solver (never dispatches to exact); exposed for
+/// benchmarking the components separately.
+Matching local_search_matching(const Graph& g, std::size_t max_rounds,
+                               std::uint64_t seed);
+
+/// Approximate maximum weight uncapacitated b-matching: weight-greedy with
+/// saturation followed by unit-transfer local search.
+BMatching approx_weighted_b_matching(const Graph& g, const Capacities& b,
+                                     std::size_t max_rounds = 32);
+
+}  // namespace dp

@@ -1,0 +1,151 @@
+#include "matching/blossom_unweighted.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dp {
+
+namespace {
+
+constexpr Vertex kNone = ~Vertex{0};
+
+/// State for one augmentation search.
+struct BlossomSearch {
+  const Graph& g;
+  std::vector<Vertex> mate;
+  std::vector<Vertex> parent;  // alternating-tree parent (an even vertex)
+  std::vector<Vertex> base;    // blossom base of each vertex
+  std::vector<char> in_queue;
+  std::vector<char> in_blossom;
+  std::queue<Vertex> queue;
+
+  explicit BlossomSearch(const Graph& graph)
+      : g(graph),
+        mate(graph.num_vertices(), kNone),
+        parent(graph.num_vertices(), kNone),
+        base(graph.num_vertices(), 0),
+        in_queue(graph.num_vertices(), 0),
+        in_blossom(graph.num_vertices(), 0) {}
+
+  Vertex lca(Vertex a, Vertex b) {
+    std::vector<char> visited(g.num_vertices(), 0);
+    for (;;) {
+      a = base[a];
+      visited[a] = 1;
+      if (mate[a] == kNone) break;
+      a = parent[mate[a]];
+    }
+    for (;;) {
+      b = base[b];
+      if (visited[b]) return b;
+      b = parent[mate[b]];
+    }
+  }
+
+  void mark_path(Vertex v, Vertex b, Vertex child) {
+    while (base[v] != b) {
+      in_blossom[base[v]] = 1;
+      in_blossom[base[mate[v]]] = 1;
+      parent[v] = child;
+      child = mate[v];
+      v = parent[mate[v]];
+    }
+  }
+
+  void contract(Vertex u, Vertex v) {
+    const Vertex b = lca(u, v);
+    std::fill(in_blossom.begin(), in_blossom.end(), 0);
+    mark_path(u, b, v);
+    mark_path(v, b, u);
+    for (std::size_t i = 0; i < g.num_vertices(); ++i) {
+      if (in_blossom[base[i]]) {
+        base[i] = b;
+        if (!in_queue[i]) {
+          in_queue[i] = 1;
+          queue.push(static_cast<Vertex>(i));
+        }
+      }
+    }
+  }
+
+  /// BFS from `root` for an augmenting path; returns its far endpoint or
+  /// kNone.
+  Vertex find_path(Vertex root) {
+    std::fill(parent.begin(), parent.end(), kNone);
+    std::fill(in_queue.begin(), in_queue.end(), 0);
+    for (std::size_t i = 0; i < g.num_vertices(); ++i) {
+      base[i] = static_cast<Vertex>(i);
+    }
+    queue = {};
+    queue.push(root);
+    in_queue[root] = 1;
+    while (!queue.empty()) {
+      const Vertex u = queue.front();
+      queue.pop();
+      for (const auto& inc : g.neighbors(u)) {
+        const Vertex v = inc.neighbor;
+        if (base[u] == base[v] || mate[u] == v) continue;
+        if (v == root || (mate[v] != kNone && parent[mate[v]] != kNone)) {
+          contract(u, v);
+        } else if (parent[v] == kNone) {
+          parent[v] = u;
+          if (mate[v] == kNone) {
+            return v;  // augmenting path found
+          }
+          if (!in_queue[mate[v]]) {
+            in_queue[mate[v]] = 1;
+            queue.push(mate[v]);
+          }
+        }
+      }
+    }
+    return kNone;
+  }
+
+  void augment(Vertex v) {
+    while (v != kNone) {
+      const Vertex pv = parent[v];
+      const Vertex ppv = mate[pv];
+      mate[v] = pv;
+      mate[pv] = v;
+      v = ppv;
+    }
+  }
+};
+
+}  // namespace
+
+Matching max_cardinality_matching(const Graph& g) {
+  BlossomSearch search(g);
+  // Greedy initialization speeds up the search substantially.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (search.mate[edge.u] == kNone && search.mate[edge.v] == kNone) {
+      search.mate[edge.u] = edge.v;
+      search.mate[edge.v] = edge.u;
+    }
+  }
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (search.mate[v] != kNone) continue;
+    const Vertex end = search.find_path(static_cast<Vertex>(v));
+    if (end != kNone) search.augment(end);
+  }
+  // Convert mate array to edge ids (pick any edge between the mated pair).
+  Matching m;
+  std::vector<char> emitted(g.num_vertices(), 0);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const Vertex u = static_cast<Vertex>(v);
+    const Vertex w = search.mate[v];
+    if (w == kNone || emitted[u] || emitted[w]) continue;
+    for (const auto& inc : g.neighbors(u)) {
+      if (inc.neighbor == w) {
+        m.add(inc.edge);
+        emitted[u] = emitted[w] = 1;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace dp

@@ -1,0 +1,13 @@
+#pragma once
+// Exact maximum-cardinality matching in general graphs: Edmonds' blossom
+// algorithm with path-compression contraction, O(V * E). Ground truth for
+// the unweighted experiments and the cardinality half of the test suite.
+
+#include "matching/matching.hpp"
+
+namespace dp {
+
+/// Maximum cardinality matching of g (weights ignored).
+Matching max_cardinality_matching(const Graph& g);
+
+}  // namespace dp

@@ -1,0 +1,122 @@
+#include "matching/exact_small.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace dp {
+
+namespace {
+
+constexpr double kNegInf = -1e300;
+
+}  // namespace
+
+Matching exact_matching_small(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n > 24) {
+    throw std::invalid_argument("exact_matching_small: n too large");
+  }
+  const std::size_t states = std::size_t{1} << n;
+  // best[S] = max weight using only vertices in S; choice[S] = edge id used
+  // on the lowest set bit (or sentinel for "skip").
+  std::vector<double> best(states, 0.0);
+  constexpr EdgeId kSkip = ~EdgeId{0};
+  std::vector<EdgeId> choice(states, kSkip);
+
+  // Adjacency by vertex for fast lookup of edges inside S.
+  g.build_adjacency();
+  for (std::size_t s = 1; s < states; ++s) {
+    const int low = __builtin_ctzll(s);
+    // Option 1: leave `low` unmatched.
+    double value = best[s & (s - 1)];
+    EdgeId pick = kSkip;
+    // Option 2: match `low` with a neighbour inside S.
+    for (const auto& inc : g.neighbors(static_cast<Vertex>(low))) {
+      const Vertex other = inc.neighbor;
+      if (other == static_cast<Vertex>(low)) continue;
+      if (!(s >> other & 1)) continue;
+      const std::size_t rest =
+          s & ~(std::size_t{1} << low) & ~(std::size_t{1} << other);
+      const double cand = best[rest] + g.edge(inc.edge).w;
+      if (cand > value) {
+        value = cand;
+        pick = inc.edge;
+      }
+    }
+    best[s] = value;
+    choice[s] = pick;
+  }
+
+  // Reconstruct.
+  Matching m;
+  std::size_t s = states - 1;
+  while (s != 0) {
+    const int low = __builtin_ctzll(s);
+    const EdgeId pick = choice[s];
+    if (pick == kSkip) {
+      s &= s - 1;
+    } else {
+      const Edge& e = g.edge(pick);
+      m.add(pick);
+      s &= ~(std::size_t{1} << e.u);
+      s &= ~(std::size_t{1} << e.v);
+      (void)low;
+    }
+  }
+  return m;
+}
+
+double exact_matching_weight_small(const Graph& g) {
+  return exact_matching_small(g).weight(g);
+}
+
+namespace {
+
+/// Memoized recursion on residual capacity vectors for tiny b-matching.
+struct BMatchSolver {
+  const Graph& g;
+  std::map<std::vector<std::int64_t>, double> memo;
+
+  explicit BMatchSolver(const Graph& graph) : g(graph) {}
+
+  double solve(std::vector<std::int64_t>& residual, EdgeId from) {
+    // Try edges from index `from` onward (multiplicities chosen greedily in
+    // recursion, order irrelevant for correctness because we branch).
+    if (from >= g.num_edges()) return 0.0;
+    std::vector<std::int64_t> key(residual);
+    key.push_back(from);
+    const auto it = memo.find(key);
+    if (it != memo.end()) return it->second;
+
+    double best = kNegInf;
+    const Edge& e = g.edge(from);
+    const std::int64_t cap = std::min(residual[e.u], residual[e.v]);
+    for (std::int64_t y = 0; y <= cap; ++y) {
+      residual[e.u] -= y;
+      residual[e.v] -= y;
+      const double cand =
+          static_cast<double>(y) * e.w + solve(residual, from + 1);
+      residual[e.u] += y;
+      residual[e.v] += y;
+      if (cand > best) best = cand;
+    }
+    memo.emplace(std::move(key), best);
+    return best;
+  }
+};
+
+}  // namespace
+
+double exact_b_matching_weight_small(const Graph& g, const Capacities& b) {
+  if (g.num_vertices() > 12 || g.num_edges() > 40) {
+    throw std::invalid_argument("exact_b_matching_weight_small: too large");
+  }
+  std::vector<std::int64_t> residual(g.num_vertices());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    residual[v] = b[static_cast<Vertex>(v)];
+  }
+  BMatchSolver solver(g);
+  return solver.solve(residual, 0);
+}
+
+}  // namespace dp

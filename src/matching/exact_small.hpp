@@ -1,0 +1,21 @@
+#pragma once
+// Exact maximum-weight matching for tiny graphs via bitmask dynamic
+// programming over vertex subsets (O(2^n * n^2)). Ground truth for tests of
+// every other solver; refuses n > 24.
+
+#include "matching/matching.hpp"
+
+namespace dp {
+
+/// Exact maximum weight matching. Throws std::invalid_argument for n > 24.
+Matching exact_matching_small(const Graph& g);
+
+/// Exact maximum weight of any matching (value only).
+double exact_matching_weight_small(const Graph& g);
+
+/// Exact maximum weight UNCAPACITATED b-matching value for tiny graphs via
+/// recursion over residual capacities (exponential; n*max_b small only).
+/// Edges may be used with any multiplicity up to residual capacities.
+double exact_b_matching_weight_small(const Graph& g, const Capacities& b);
+
+}  // namespace dp

@@ -1,0 +1,37 @@
+#pragma once
+// Greedy and maximal matchings / b-matchings.
+//
+// * greedy_matching: sort by weight, take feasible — the classic 1/2
+//   approximation, used as a baseline throughout the benchmarks.
+// * maximal_matching: arbitrary-order maximal matching (1/2 for cardinality).
+// * maximal_b_matching: maximal with the saturation rule of Lemma 20 — when
+//   an edge (i, j) is chosen its multiplicity is raised to the residual
+//   min(b_i, b_j), so each chosen edge saturates an endpoint; this is what
+//   makes the Lattanzi-style filtering analysis carry over to b-matching.
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+
+namespace dp {
+
+/// Weight-sorted greedy matching (>= 1/2 of optimal weight).
+Matching greedy_matching(const Graph& g);
+
+/// Maximal matching scanning edges in stored order.
+Matching maximal_matching(const Graph& g);
+
+/// Maximal matching over an arbitrary subset of edge ids, scanning in the
+/// given order and respecting pre-matched vertices (mate array updated).
+void extend_maximal_matching(const Graph& g,
+                             const std::vector<EdgeId>& candidates,
+                             std::vector<Vertex>& mate, Matching& m);
+
+/// Weight-sorted greedy b-matching: multiplicity = residual min(b_u, b_v)
+/// at selection time (uncapacitated b-matching, Lemma 20 saturation).
+BMatching greedy_b_matching(const Graph& g, const Capacities& b);
+
+/// Maximal b-matching in stored edge order with saturation.
+BMatching maximal_b_matching(const Graph& g, const Capacities& b);
+
+}  // namespace dp

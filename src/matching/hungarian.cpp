@@ -1,0 +1,134 @@
+#include "matching/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace dp {
+
+std::optional<std::vector<char>> bipartition(const Graph& g) {
+  std::vector<char> side(g.num_vertices(), -1);
+  for (std::size_t start = 0; start < g.num_vertices(); ++start) {
+    if (side[start] != -1) continue;
+    side[start] = 0;
+    std::queue<Vertex> q;
+    q.push(static_cast<Vertex>(start));
+    while (!q.empty()) {
+      const Vertex u = q.front();
+      q.pop();
+      for (const auto& inc : g.neighbors(u)) {
+        if (side[inc.neighbor] == -1) {
+          side[inc.neighbor] = static_cast<char>(1 - side[u]);
+          q.push(inc.neighbor);
+        } else if (side[inc.neighbor] == side[u]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return side;
+}
+
+Matching hungarian_matching(const Graph& g) {
+  const auto side_opt = bipartition(g);
+  if (!side_opt.has_value()) {
+    throw std::invalid_argument("hungarian_matching: graph not bipartite");
+  }
+  const std::vector<char>& side = *side_opt;
+
+  // Collect left/right vertex lists; the matrix is rows x cols with dummy
+  // columns so every row may stay unmatched at cost 0. Costs are negated
+  // weights (the algorithm minimizes).
+  std::vector<Vertex> left, right;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    (side[v] == 0 ? left : right).push_back(static_cast<Vertex>(v));
+  }
+  if (left.size() > right.size()) std::swap(left, right);
+  const std::size_t rows = left.size();
+  const std::size_t cols = right.size() + rows;  // dummies allow skipping
+  if (rows == 0) return Matching{};
+
+  std::vector<std::size_t> col_of(g.num_vertices(), ~std::size_t{0});
+  std::vector<std::size_t> row_of(g.num_vertices(), ~std::size_t{0});
+  for (std::size_t i = 0; i < rows; ++i) row_of[left[i]] = i;
+  for (std::size_t j = 0; j < right.size(); ++j) col_of[right[j]] = j;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // cost[i][j]: best (most negative) over parallel edges; dummy cols 0.
+  std::vector<std::vector<double>> cost(rows,
+                                        std::vector<double>(cols, 0.0));
+  std::vector<std::vector<EdgeId>> eid(
+      rows, std::vector<EdgeId>(cols, ~EdgeId{0}));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    // Determine which endpoint is a row.
+    Vertex lv = edge.u, rv = edge.v;
+    if (row_of[lv] == ~std::size_t{0}) std::swap(lv, rv);
+    if (row_of[lv] == ~std::size_t{0}) continue;  // neither side is a row
+    const std::size_t i = row_of[lv];
+    const std::size_t j = col_of[rv];
+    if (j == ~std::size_t{0}) continue;
+    if (-edge.w < cost[i][j]) {
+      cost[i][j] = -edge.w;
+      eid[i][j] = e;
+    }
+  }
+
+  // Standard potentials-based Hungarian on a rows x cols matrix (rows <=
+  // cols). 1-indexed internal arrays.
+  std::vector<double> u(rows + 1, 0.0), v(cols + 1, 0.0);
+  std::vector<std::size_t> p(cols + 1, 0), way(cols + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(cols + 1, kInf);
+    std::vector<char> used(cols + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= cols; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= cols; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Matching m;
+  for (std::size_t j = 1; j <= cols; ++j) {
+    if (p[j] == 0) continue;
+    const std::size_t i = p[j] - 1;
+    const std::size_t jj = j - 1;
+    if (jj < right.size() && eid[i][jj] != ~EdgeId{0} &&
+        cost[i][jj] < 0.0) {
+      m.add(eid[i][jj]);
+    }
+  }
+  return m;
+}
+
+}  // namespace dp

@@ -1,0 +1,21 @@
+#pragma once
+// Exact maximum-weight bipartite matching (not necessarily perfect) via the
+// Hungarian algorithm with potentials, O(n^2 m) worst case on the padded
+// matrix. Used as ground truth on bipartite instances where the bitmask DP
+// is too small and the general blossom unnecessary.
+
+#include <optional>
+#include <vector>
+
+#include "matching/matching.hpp"
+
+namespace dp {
+
+/// A 2-coloring of g if it is bipartite (side[v] in {0,1}), else nullopt.
+std::optional<std::vector<char>> bipartition(const Graph& g);
+
+/// Exact max-weight matching of a bipartite graph. Throws if g is not
+/// bipartite. Only edges with positive weight are ever matched.
+Matching hungarian_matching(const Graph& g);
+
+}  // namespace dp

@@ -1,0 +1,97 @@
+#include "matching/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp {
+
+bool fractional_degrees_feasible(const Graph& g, const Capacities& b,
+                                 const FractionalMatching& fm, double tol) {
+  if (fm.y.size() != g.num_edges()) return false;
+  std::vector<double> degree(g.num_vertices(), 0.0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (fm.y[e] < -tol) return false;
+    degree[g.edge(e).u] += fm.y[e];
+    degree[g.edge(e).v] += fm.y[e];
+  }
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    if (degree[v] > static_cast<double>(b[static_cast<Vertex>(v)]) + tol) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool odd_set_constraint_holds(const Graph& g, const Capacities& b,
+                              const FractionalMatching& fm,
+                              const std::vector<Vertex>& odd_set,
+                              double tol) {
+  double inside = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    if (std::binary_search(odd_set.begin(), odd_set.end(), edge.u) &&
+        std::binary_search(odd_set.begin(), odd_set.end(), edge.v)) {
+      inside += fm.y[e];
+    }
+  }
+  const double cap =
+      std::floor(static_cast<double>(b.weight_of(odd_set)) / 2.0);
+  return inside <= cap + tol;
+}
+
+std::vector<std::size_t> violated_odd_sets(
+    const Graph& g, const Capacities& b, const FractionalMatching& fm,
+    const std::vector<std::vector<Vertex>>& sets, double tol) {
+  std::vector<std::size_t> out;
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    if (!odd_set_constraint_holds(g, b, fm, sets[s], tol)) out.push_back(s);
+  }
+  return out;
+}
+
+double fractional_weight(const Graph& g, const FractionalMatching& fm) {
+  double total = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    total += fm.y[e] * g.edge(e).w;
+  }
+  return total;
+}
+
+bool dual_feasible(const Graph& g, const OddSetDual& dual, double tol) {
+  if (dual.x.size() != g.num_vertices()) return false;
+  if (dual.sets.size() != dual.z.size()) return false;
+  for (double xi : dual.x) {
+    if (xi < -tol) return false;
+  }
+  for (double zu : dual.z) {
+    if (zu < -tol) return false;
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    double cover = dual.x[edge.u] + dual.x[edge.v];
+    for (std::size_t s = 0; s < dual.sets.size(); ++s) {
+      if (dual.z[s] <= 0) continue;
+      const auto& set = dual.sets[s];
+      if (std::binary_search(set.begin(), set.end(), edge.u) &&
+          std::binary_search(set.begin(), set.end(), edge.v)) {
+        cover += dual.z[s];
+      }
+    }
+    if (cover < edge.w - tol) return false;
+  }
+  return true;
+}
+
+double dual_objective(const Capacities& b, const OddSetDual& dual) {
+  double total = 0;
+  for (std::size_t v = 0; v < dual.x.size(); ++v) {
+    total += static_cast<double>(b[static_cast<Vertex>(v)]) * dual.x[v];
+  }
+  for (std::size_t s = 0; s < dual.sets.size(); ++s) {
+    total += std::floor(static_cast<double>(b.weight_of(dual.sets[s])) / 2.0) *
+             dual.z[s];
+  }
+  return total;
+}
+
+}  // namespace dp

@@ -1,0 +1,54 @@
+#pragma once
+// Feasibility verifiers for primal (fractional / integral) matchings and
+// odd-set duals. These make the paper's LP objects first-class checkable
+// values: tests and the certificate module verify *feasibility* explicitly
+// rather than trusting solver internals.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dp {
+
+/// A fractional b-matching candidate: y_e >= 0 per edge.
+struct FractionalMatching {
+  std::vector<double> y;
+};
+
+/// Check degree feasibility: sum_{e at v} y_e <= b_v (+tol).
+bool fractional_degrees_feasible(const Graph& g, const Capacities& b,
+                                 const FractionalMatching& fm,
+                                 double tol = 1e-9);
+
+/// Check one odd-set constraint: sum_{e inside U} y_e <= floor(||U||_b/2).
+bool odd_set_constraint_holds(const Graph& g, const Capacities& b,
+                              const FractionalMatching& fm,
+                              const std::vector<Vertex>& odd_set,
+                              double tol = 1e-9);
+
+/// Violated odd sets among the given candidates (indices into `sets`).
+std::vector<std::size_t> violated_odd_sets(
+    const Graph& g, const Capacities& b, const FractionalMatching& fm,
+    const std::vector<std::vector<Vertex>>& sets, double tol = 1e-9);
+
+/// Weight of a fractional matching.
+double fractional_weight(const Graph& g, const FractionalMatching& fm);
+
+/// A dual candidate for the odd-set LP (LP11): per-vertex potentials x_i
+/// and odd-set values z_U over an explicit family.
+struct OddSetDual {
+  std::vector<double> x;                       // per vertex
+  std::vector<std::vector<Vertex>> sets;       // odd sets (sorted members)
+  std::vector<double> z;                       // parallel to sets
+};
+
+/// Dual feasibility: for every edge, x_u + x_v + sum_{U containing both}
+/// z_U >= w_e - tol, and all variables nonnegative.
+bool dual_feasible(const Graph& g, const OddSetDual& dual, double tol = 1e-9);
+
+/// Dual objective sum b_i x_i + sum floor(||U||_b/2) z_U — an upper bound
+/// on the maximum weight b-matching whenever dual_feasible() holds (weak
+/// duality over LP1/LP11).
+double dual_objective(const Capacities& b, const OddSetDual& dual);
+
+}  // namespace dp

@@ -1,0 +1,59 @@
+#include "sketch/agm.hpp"
+
+namespace dp {
+
+AgmSketch::AgmSketch(const Graph& g, const L0SamplerSeed& seed,
+                     ResourceMeter* meter)
+    : n_(g.num_vertices()) {
+  per_vertex_.reserve(n_);
+  for (std::size_t v = 0; v < n_; ++v) per_vertex_.emplace_back(seed);
+  for (const Edge& e : g.edges()) {
+    const Vertex lo = e.u < e.v ? e.u : e.v;
+    const Vertex hi = e.u < e.v ? e.v : e.u;
+    const std::uint64_t index = static_cast<std::uint64_t>(lo) * n_ + hi;
+    per_vertex_[lo].update(index, +1);
+    per_vertex_[hi].update(index, -1);
+  }
+  if (meter != nullptr) meter->add_sketch_words(words());
+}
+
+std::optional<SampledEdge> AgmSketch::decode(
+    const Recovered& r) const noexcept {
+  const std::uint64_t index = r.index;
+  const auto u = static_cast<Vertex>(index / n_);
+  const auto v = static_cast<Vertex>(index % n_);
+  if (u >= n_ || v >= n_ || u == v) return std::nullopt;
+  return SampledEdge{u, v};
+}
+
+std::optional<SampledEdge> AgmSketch::sample_boundary(
+    const std::vector<char>& in_set) const {
+  // Merge member sketches; internal edges cancel (+1 and -1 both included).
+  std::optional<L0Sampler> merged;
+  for (std::size_t v = 0; v < n_; ++v) {
+    if (!in_set[v]) continue;
+    if (!merged.has_value()) {
+      merged = per_vertex_[v];
+    } else {
+      merged->merge(per_vertex_[v]);
+    }
+  }
+  if (!merged.has_value()) return std::nullopt;
+  const auto rec = merged->sample();
+  if (!rec.has_value()) return std::nullopt;
+  return decode(*rec);
+}
+
+std::optional<SampledEdge> AgmSketch::sample_incident(Vertex v) const {
+  const auto rec = per_vertex_[v].sample();
+  if (!rec.has_value()) return std::nullopt;
+  return decode(*rec);
+}
+
+std::size_t AgmSketch::words() const noexcept {
+  std::size_t total = 0;
+  for (const auto& sampler : per_vertex_) total += sampler.words();
+  return total;
+}
+
+}  // namespace dp

@@ -1,0 +1,57 @@
+#pragma once
+// AGM graph sketches (Ahn-Guha-McGregor): per-vertex linear sketches of the
+// signed vertex-edge incidence vector. Merging the sketches of a vertex set
+// S cancels all edges internal to S, leaving exactly the boundary edges
+// delta(S); an l0-sample then returns a random edge crossing the cut. This
+// is the paper's footnote-1 primitive and the engine of the sketch-based
+// spanning forest (the "1 sampling round, log n deferred uses" example of
+// Section 1).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sketch/l0sampler.hpp"
+#include "util/accounting.hpp"
+
+namespace dp {
+
+/// An edge recovered from an AGM sketch query.
+struct SampledEdge {
+  Vertex u;
+  Vertex v;
+};
+
+/// One "copy" of the AGM sketch: an l0-sampler per vertex over the edge
+/// universe [n^2], where edge (u, v), u < v, contributes +1 at u's sketch
+/// and -1 at v's sketch at index u*n+v.
+class AgmSketch {
+ public:
+  /// Build sketches for the n vertices of g. `meter`, if given, is charged
+  /// one sketch word per word of state (congested clique accounting).
+  AgmSketch(const Graph& g, const L0SamplerSeed& seed,
+            ResourceMeter* meter = nullptr);
+
+  std::size_t num_vertices() const noexcept { return n_; }
+
+  /// Sample an edge leaving the vertex set whose members are flagged in
+  /// `in_set`. Merges member sketches (linearity) and queries. Returns
+  /// nullopt if no boundary edge was recovered.
+  std::optional<SampledEdge> sample_boundary(
+      const std::vector<char>& in_set) const;
+
+  /// Sample an edge incident to a single vertex.
+  std::optional<SampledEdge> sample_incident(Vertex v) const;
+
+  /// Total sketch state in words across all vertices.
+  std::size_t words() const noexcept;
+
+ private:
+  std::optional<SampledEdge> decode(const Recovered& r) const noexcept;
+
+  std::size_t n_;
+  std::vector<L0Sampler> per_vertex_;
+};
+
+}  // namespace dp

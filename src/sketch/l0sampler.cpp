@@ -1,0 +1,59 @@
+#include "sketch/l0sampler.hpp"
+
+namespace dp {
+
+L0SamplerSeed::L0SamplerSeed(int levels_in, int reps_in, Rng& rng)
+    : levels(levels_in), reps(reps_in) {
+  level_hash.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    // 2-wise independence suffices for the subsampling levels in practice;
+    // we use 4-wise for a comfortable margin.
+    level_hash.emplace_back(4, rng);
+  }
+  fingerprint.resize(static_cast<std::size_t>(reps) * levels);
+  for (auto& z : fingerprint) z = rng.uniform(MersenneField::kPrime - 2) + 1;
+}
+
+L0Sampler::L0Sampler(const L0SamplerSeed& seed) : seed_(&seed) {
+  cells_.reserve(static_cast<std::size_t>(seed.reps) * seed.levels);
+  for (int r = 0; r < seed.reps; ++r) {
+    for (int l = 0; l < seed.levels; ++l) {
+      cells_.emplace_back(
+          seed.fingerprint[static_cast<std::size_t>(r) * seed.levels + l]);
+    }
+  }
+}
+
+void L0Sampler::update(std::uint64_t index, std::int64_t delta) noexcept {
+  for (int r = 0; r < seed_->reps; ++r) {
+    const std::uint64_t h = seed_->level_hash[r](index);
+    // Level l receives the update iff the top l bits of h/p are zero, i.e.
+    // h < p / 2^l. Level 0 receives everything.
+    std::uint64_t threshold = MersenneField::kPrime;
+    for (int l = 0; l < seed_->levels; ++l) {
+      if (h >= threshold) break;
+      cells_[cell_index(r, l)].update(index, delta);
+      threshold >>= 1;
+    }
+  }
+}
+
+void L0Sampler::merge(const L0Sampler& other) noexcept {
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].merge(other.cells_[i]);
+  }
+}
+
+std::optional<Recovered> L0Sampler::sample() const noexcept {
+  // Prefer deeper levels (sparser) but accept any successful recovery;
+  // scanning deepest-first gives closer-to-uniform samples.
+  for (int r = 0; r < seed_->reps; ++r) {
+    for (int l = seed_->levels - 1; l >= 0; --l) {
+      const auto rec = cells_[cell_index(r, l)].recover();
+      if (rec.has_value()) return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace dp

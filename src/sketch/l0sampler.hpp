@@ -1,0 +1,65 @@
+#pragma once
+// l0-sampling sketches.
+//
+// An L0Sampler returns a (near-)uniform nonzero coordinate of a dynamically
+// updated integer vector using polylog space, and is *linear*: sketches of
+// two vectors merge by addition. The paper implements every sampling round
+// with these (footnote 1 and Section 4.2); the MapReduce mapper computes
+// them per vertex and the reducer merges and queries.
+//
+// Construction: geometric subsampling levels l = 0..L, level l keeping
+// index i iff hash(i) falls below 2^-l; each level holds a OneSparse
+// structure. Recovery scans levels for an exactly-1-sparse one. Multiple
+// independent repetitions boost the success probability.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sketch/onesparse.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+
+/// Shared randomness for a family of mergeable l0-samplers: all copies that
+/// should be merged must be built from the same L0SamplerSeed.
+struct L0SamplerSeed {
+  /// levels ~ log2(universe), reps = independent repetitions.
+  L0SamplerSeed(int levels, int reps, Rng& rng);
+
+  int levels;
+  int reps;
+  std::vector<KWiseHash> level_hash;       // one per repetition
+  std::vector<std::uint64_t> fingerprint;  // z per (rep, level)
+};
+
+class L0Sampler {
+ public:
+  explicit L0Sampler(const L0SamplerSeed& seed);
+
+  /// vector[index] += delta.
+  void update(std::uint64_t index, std::int64_t delta) noexcept;
+
+  /// Merge a sampler built from the same seed.
+  void merge(const L0Sampler& other) noexcept;
+
+  /// A nonzero coordinate of the summed vector, or nullopt if recovery
+  /// failed (all levels collided) or the vector is zero.
+  std::optional<Recovered> sample() const noexcept;
+
+  /// Number of machine words of sketch state.
+  std::size_t words() const noexcept {
+    return cells_.size() * OneSparse::kWords;
+  }
+
+ private:
+  const L0SamplerSeed* seed_;
+  std::vector<OneSparse> cells_;  // reps * levels, row-major by rep
+
+  std::size_t cell_index(int rep, int level) const noexcept {
+    return static_cast<std::size_t>(rep) * seed_->levels + level;
+  }
+};
+
+}  // namespace dp

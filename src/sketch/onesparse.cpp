@@ -1,0 +1,55 @@
+#include "sketch/onesparse.hpp"
+
+namespace dp {
+
+namespace {
+
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp) noexcept {
+  std::uint64_t result = 1;
+  base = MersenneField::reduce(base);
+  while (exp > 0) {
+    if (exp & 1) result = MersenneField::mul(result, base);
+    base = MersenneField::mul(base, base);
+    exp >>= 1;
+  }
+  return result;
+}
+
+/// count mod p, mapping negative counts into the field.
+std::uint64_t field_of(std::int64_t c) noexcept {
+  const std::int64_t p = static_cast<std::int64_t>(MersenneField::kPrime);
+  std::int64_t r = c % p;
+  if (r < 0) r += p;
+  return static_cast<std::uint64_t>(r);
+}
+
+}  // namespace
+
+void OneSparse::update(std::uint64_t index, std::int64_t delta) noexcept {
+  w_ += delta;
+  s_ += static_cast<__int128>(index) * delta;
+  const std::uint64_t term =
+      MersenneField::mul(field_of(delta), pow_mod(z_, index));
+  fp_ = MersenneField::add(fp_, term);
+}
+
+void OneSparse::merge(const OneSparse& other) noexcept {
+  w_ += other.w_;
+  s_ += other.s_;
+  fp_ = MersenneField::add(fp_, other.fp_);
+}
+
+std::optional<Recovered> OneSparse::recover() const noexcept {
+  if (w_ == 0) return std::nullopt;
+  if (s_ % w_ != 0) return std::nullopt;
+  const __int128 idx128 = s_ / w_;
+  if (idx128 < 0) return std::nullopt;
+  const auto index = static_cast<std::uint64_t>(idx128);
+  // Verify fingerprint: fp must equal w * z^index.
+  const std::uint64_t expect =
+      MersenneField::mul(field_of(w_), pow_mod(z_, index));
+  if (expect != fp_) return std::nullopt;
+  return Recovered{index, w_};
+}
+
+}  // namespace dp

@@ -1,0 +1,50 @@
+#pragma once
+// 1-sparse recovery over integer vectors.
+//
+// The basic building block of l0-sampling (and hence of the AGM graph
+// sketches the paper uses to implement its sampling rounds): maintain
+// (sum of counts, sum of index*count, polynomial fingerprint) under linear
+// updates; if the underlying vector is exactly 1-sparse the unique nonzero
+// coordinate can be recovered and verified with high probability.
+
+#include <cstdint>
+#include <optional>
+
+#include "util/hash.hpp"
+
+namespace dp {
+
+struct Recovered {
+  std::uint64_t index;
+  std::int64_t count;
+};
+
+class OneSparse {
+ public:
+  /// `z` is the random fingerprint evaluation point (shared across the
+  /// mergeable copies of one sketch).
+  explicit OneSparse(std::uint64_t z) : z_(MersenneField::reduce(z)) {}
+
+  /// Apply update vector[index] += delta.
+  void update(std::uint64_t index, std::int64_t delta) noexcept;
+
+  /// Merge another structure built with the same z (linearity).
+  void merge(const OneSparse& other) noexcept;
+
+  bool is_zero() const noexcept { return w_ == 0 && s_ == 0 && fp_ == 0; }
+
+  /// If the represented vector is exactly 1-sparse, return its nonzero
+  /// coordinate; std::nullopt otherwise (sound whp via the fingerprint).
+  std::optional<Recovered> recover() const noexcept;
+
+  /// Words of state (for congested-clique / sketch-size accounting).
+  static constexpr std::size_t kWords = 3;
+
+ private:
+  std::uint64_t z_;
+  std::int64_t w_ = 0;    // sum of counts
+  __int128 s_ = 0;        // sum of index * count
+  std::uint64_t fp_ = 0;  // sum of count * z^index  (mod 2^61-1)
+};
+
+}  // namespace dp

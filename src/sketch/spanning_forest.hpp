@@ -1,0 +1,34 @@
+#pragma once
+// Sketch-based spanning forest: the paper's Section 1 worked example of
+// "compute sketches in 1 round, use them sequentially in O(log n) steps".
+//
+// Boruvka over AGM sketches: O(log n) independent sketch copies are computed
+// in a single (non-adaptive) pass; round r merges each current component's
+// vertex sketches from copy r and samples one outgoing edge per component.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/accounting.hpp"
+
+namespace dp {
+
+struct SketchForestResult {
+  /// Edges of the produced spanning forest (subset of g's edge set as
+  /// endpoint pairs; sketches do not retain edge ids).
+  std::vector<Edge> forest;
+  /// Components found (should equal the true component count whp).
+  std::size_t components = 0;
+  /// Boruvka rounds executed (deferred, data-free "use" steps).
+  std::size_t use_steps = 0;
+  /// Sampling rounds touching the input (always 1 here).
+  std::size_t sampling_rounds = 1;
+};
+
+/// Compute a spanning forest of g using only linear sketches of its
+/// incidence structure. `seed` drives all randomness; `meter` (optional) is
+/// charged sketch words and one sampling round.
+SketchForestResult sketch_spanning_forest(const Graph& g, std::uint64_t seed,
+                                          ResourceMeter* meter = nullptr);
+
+}  // namespace dp

@@ -1,0 +1,125 @@
+#include "sparsify/cut_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+
+double weighted_cut(const std::vector<Edge>& edges,
+                    const std::vector<double>& weight,
+                    const std::vector<char>& in_s) {
+  double total = 0;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (in_s[edges[e].u] != in_s[edges[e].v]) total += weight[e];
+  }
+  return total;
+}
+
+double sparsifier_cut(const std::vector<Edge>& edges,
+                      const std::vector<SparsifiedEdge>& kept,
+                      const std::vector<char>& in_s) {
+  double total = 0;
+  for (const SparsifiedEdge& s : kept) {
+    const Edge& e = edges[s.index];
+    if (in_s[e.u] != in_s[e.v]) total += s.weight;
+  }
+  return total;
+}
+
+double max_cut_error(std::size_t n, const std::vector<Edge>& edges,
+                     const std::vector<double>& weight,
+                     const std::vector<SparsifiedEdge>& kept,
+                     std::size_t trials, std::uint64_t seed) {
+  Rng rng(seed);
+  double worst = 0;
+  std::vector<char> in_s(n, 0);
+
+  auto check = [&] {
+    const double exact = weighted_cut(edges, weight, in_s);
+    if (exact <= 0) return;
+    const double approx = sparsifier_cut(edges, kept, in_s);
+    worst = std::max(worst, rel_err(approx, exact));
+  };
+
+  // All vertex stars (these are the cuts Lemma 18 uses directly).
+  for (std::size_t v = 0; v < n; ++v) {
+    std::fill(in_s.begin(), in_s.end(), 0);
+    in_s[v] = 1;
+    check();
+  }
+  // Random bipartitions.
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t v = 0; v < n; ++v) {
+      in_s[v] = static_cast<char>(rng.next() & 1);
+    }
+    check();
+  }
+  return worst;
+}
+
+double stoer_wagner_min_cut(std::size_t n, const std::vector<Edge>& edges,
+                            const std::vector<double>& weight,
+                            std::vector<char>* side) {
+  if (n < 2) return 0.0;
+  // Dense adjacency of merged supervertices.
+  std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    w[edges[e].u][edges[e].v] += weight[e];
+    w[edges[e].v][edges[e].u] += weight[e];
+  }
+  std::vector<std::vector<std::uint32_t>> members(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    members[v] = {static_cast<std::uint32_t>(v)};
+  }
+  std::vector<char> active(n, 1);
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::uint32_t> best_side;
+
+  for (std::size_t phase = n; phase > 1; --phase) {
+    // Maximum adjacency ordering.
+    std::vector<double> key(n, 0.0);
+    std::vector<char> added(n, 0);
+    std::uint32_t prev = 0, last = 0;
+    for (std::size_t it = 0; it < phase; ++it) {
+      std::int64_t pick = -1;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (!active[v] || added[v]) continue;
+        if (pick < 0 || key[v] > key[static_cast<std::size_t>(pick)]) {
+          pick = static_cast<std::int64_t>(v);
+        }
+      }
+      const auto u = static_cast<std::uint32_t>(pick);
+      added[u] = 1;
+      prev = last;
+      last = u;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (active[v] && !added[v]) key[v] += w[u][v];
+      }
+    }
+    // Cut-of-the-phase: last vertex alone.
+    if (key[last] < best) {
+      best = key[last];
+      best_side = members[last];
+    }
+    // Merge last into prev.
+    active[last] = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!active[v] || v == prev) continue;
+      w[prev][v] += w[last][v];
+      w[v][prev] += w[v][last];
+    }
+    members[prev].insert(members[prev].end(), members[last].begin(),
+                         members[last].end());
+  }
+  if (side != nullptr) {
+    side->assign(n, 0);
+    for (std::uint32_t v : best_side) (*side)[v] = 1;
+  }
+  return best;
+}
+
+}  // namespace dp

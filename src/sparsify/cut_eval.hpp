@@ -1,0 +1,38 @@
+#pragma once
+// Cut evaluation utilities for validating sparsifiers: weighted cut values,
+// random-cut error sampling, vertex-star cuts (the cuts Lemma 18 uses), and
+// an exact Stoer-Wagner global minimum cut for small graphs.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sparsify/cut_sparsifier.hpp"
+
+namespace dp {
+
+/// Weighted cut of (edges, weight) across the indicator in_s.
+double weighted_cut(const std::vector<Edge>& edges,
+                    const std::vector<double>& weight,
+                    const std::vector<char>& in_s);
+
+/// Cut of a sparsifier (kept edges with their reweighted values).
+double sparsifier_cut(const std::vector<Edge>& edges,
+                      const std::vector<SparsifiedEdge>& kept,
+                      const std::vector<char>& in_s);
+
+/// Maximum relative cut error of the sparsifier over `trials` uniformly
+/// random bipartitions plus all n single-vertex (star) cuts. Cuts of zero
+/// weight in the original graph are skipped.
+double max_cut_error(std::size_t n, const std::vector<Edge>& edges,
+                     const std::vector<double>& weight,
+                     const std::vector<SparsifiedEdge>& kept,
+                     std::size_t trials, std::uint64_t seed);
+
+/// Exact global minimum cut (Stoer-Wagner) of a weighted graph; returns the
+/// cut value and fills `side` with one shore. O(n^3); use on small graphs.
+double stoer_wagner_min_cut(std::size_t n, const std::vector<Edge>& edges,
+                            const std::vector<double>& weight,
+                            std::vector<char>* side = nullptr);
+
+}  // namespace dp

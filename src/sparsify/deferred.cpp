@@ -1,0 +1,100 @@
+#include "sparsify/deferred.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "sparsify/strength.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+
+std::vector<double> deferred_probabilities(std::size_t n,
+                                           const std::vector<Edge>& edges,
+                                           const std::vector<double>& promise,
+                                           const DeferredOptions& options,
+                                           std::uint64_t seed) {
+  if (promise.size() != edges.size()) {
+    throw std::invalid_argument("deferred_probabilities: size mismatch");
+  }
+  if (options.gamma < 1.0) {
+    throw std::invalid_argument("deferred_probabilities: gamma must be >= 1");
+  }
+  std::vector<double> prob(edges.size(), 0.0);
+  if (edges.empty() || n == 0) return prob;
+
+  // Same per-class scheme as cut_sparsify, but probabilities computed from
+  // the promise weights and inflated by gamma^2 (Lemma 17: p' computed from
+  // sigma times O(chi^2) dominates the exact-weight probability).
+  std::map<int, std::vector<std::size_t>> classes;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (!(promise[e] > 0)) continue;
+    const int cls = static_cast<int>(std::floor(std::log2(promise[e])));
+    classes[cls].push_back(e);
+  }
+
+  Rng rng(seed);
+  const double log_n =
+      std::log(static_cast<double>(std::max<std::size_t>(n, 3)));
+  const double rho = options.sampling_constant * options.gamma *
+                     options.gamma * log_n / (options.xi * options.xi);
+
+  for (const auto& [cls, members] : classes) {
+    std::vector<Edge> class_edges;
+    class_edges.reserve(members.size());
+    for (std::size_t e : members) class_edges.push_back(edges[e]);
+    const std::vector<double> strength = estimate_strengths(
+        n, class_edges, rng.next(), options.forests_per_level);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      prob[members[i]] = std::min(1.0, rho / strength[i]);
+    }
+  }
+  return prob;
+}
+
+DeferredSparsifier::DeferredSparsifier(std::size_t n,
+                                       const std::vector<Edge>& edges,
+                                       const std::vector<double>& promise,
+                                       const DeferredOptions& options,
+                                       std::uint64_t seed,
+                                       ResourceMeter* meter) {
+  Rng rng(seed);
+  const std::vector<double> prob =
+      deferred_probabilities(n, edges, promise, options, rng.next());
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    if (prob[e] <= 0) continue;
+    if (prob[e] >= 1.0 || rng.bernoulli(prob[e])) {
+      stored_.push_back(e);
+      prob_.push_back(prob[e]);
+    }
+  }
+  if (meter != nullptr) {
+    meter->add_round();
+    meter->store_edges(stored_.size());
+  }
+}
+
+std::vector<SparsifiedEdge> DeferredSparsifier::refine(
+    const std::vector<double>& exact_weights) const {
+  if (exact_weights.size() != stored_.size()) {
+    throw std::invalid_argument("DeferredSparsifier::refine: size mismatch");
+  }
+  std::vector<SparsifiedEdge> out;
+  out.reserve(stored_.size());
+  for (std::size_t i = 0; i < stored_.size(); ++i) {
+    if (!(exact_weights[i] > 0)) continue;
+    out.push_back(SparsifiedEdge{stored_[i], exact_weights[i] / prob_[i]});
+  }
+  return out;
+}
+
+std::vector<SparsifiedEdge> DeferredSparsifier::refine_from_full(
+    const std::vector<double>& full_exact_weights) const {
+  std::vector<double> local;
+  local.reserve(stored_.size());
+  for (std::size_t e : stored_) local.push_back(full_exact_weights[e]);
+  return refine(local);
+}
+
+}  // namespace dp

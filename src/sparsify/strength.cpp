@@ -1,0 +1,97 @@
+#include "sparsify/strength.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/union_find.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+
+namespace {
+
+/// Greedy Nagamochi-Ibaraki forest decomposition with nesting: an edge is
+/// placed into the first forest whose components its endpoints straddle.
+/// Connectivity in forest j certifies >= j edge-disjoint-ish connectivity,
+/// so the placement index is a per-edge strength certificate. The forests
+/// are nested (connected in F_j implies connected in F_{j-1}), which makes
+/// the placement search a binary search.
+class ForestPacker {
+ public:
+  explicit ForestPacker(std::size_t n) : n_(n) {}
+
+  /// Insert edge (u, v); returns its (1-based) placement index.
+  std::size_t insert(std::uint32_t u, std::uint32_t v) {
+    // Binary search the first forest where u and v are disconnected.
+    std::size_t lo = 0;              // invariant: connected in all < lo
+    std::size_t hi = forests_.size();  // disconnected somewhere in [lo, hi]
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (forests_[mid].connected(u, v)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == forests_.size()) forests_.emplace_back(n_);
+    forests_[lo].unite(u, v);
+    return lo + 1;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<UnionFind> forests_;
+};
+
+}  // namespace
+
+std::vector<double> estimate_strengths(std::size_t n,
+                                       const std::vector<Edge>& edges,
+                                       std::uint64_t seed,
+                                       int forests_per_level) {
+  (void)forests_per_level;  // retained for API stability; the packer grows
+                            // its forest list on demand.
+  const std::size_t m = edges.size();
+  std::vector<double> strength(m, 1.0);
+  if (m == 0 || n == 0) return strength;
+
+  const int levels =
+      1 + static_cast<int>(std::ceil(std::log2(static_cast<double>(m) + 1)));
+
+  // Nested subsamples: edge e belongs to levels 0..level_cap[e]; surviving
+  // i halvings with placement index j certifies strength ~ j * 2^i.
+  Rng rng(seed);
+  std::vector<int> level_cap(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    level_cap[e] = std::min(levels - 1, rng.coin_flips_until_tail());
+  }
+
+  // A level-i certificate j * 2^i is only statistically meaningful when the
+  // placement index j is at least ~log n (the k-connectivity requirement of
+  // the original construction); below that, mere survival of the
+  // subsampling would inflate weak edges (a bridge that survives 3 halvings
+  // is still a bridge).
+  const std::size_t k_min = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::ceil(std::log2(static_cast<double>(n) + 2))));
+  for (int i = 0; i < levels; ++i) {
+    ForestPacker packer(n);
+    bool level_nonempty = false;
+    const double scale = std::pow(2.0, i);
+    for (std::size_t e = 0; e < m; ++e) {
+      if (level_cap[e] < i) continue;
+      level_nonempty = true;
+      const std::size_t j = packer.insert(edges[e].u, edges[e].v);
+      if (i == 0) {
+        strength[e] = std::max(strength[e], static_cast<double>(j));
+      } else if (j >= k_min) {
+        strength[e] =
+            std::max(strength[e], static_cast<double>(j) * scale);
+      }
+    }
+    if (!level_nonempty) break;
+  }
+  return strength;
+}
+
+}  // namespace dp

@@ -1,0 +1,27 @@
+#pragma once
+// Edge-strength (connectivity) estimation by layered subsampling —
+// Algorithm 6 of the paper (after Ahn-Guha-McGregor PODS'12 / Fung et al.
+// STOC'11 / Nagamochi-Ibaraki).
+//
+// Level i holds subsample G_i of G at rate 2^-i (nested: G_i contains G_{i+1}).
+// Within each level we greedily pack k spanning forests F_1..F_k; an edge
+// whose endpoints remain connected in the LAST forest at level i has >= k
+// edge-disjoint-ish connectivity there, certifying strength ~ k * 2^i.
+// Sampling each edge with probability ~ rho / strength then preserves all
+// cuts within 1 +- xi whp (Benczur-Karger).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dp {
+
+/// strength[e] >= 1 for every edge; larger = better connected.
+/// Runs in O(m log m alpha(n)) time and is deterministic in `seed`.
+std::vector<double> estimate_strengths(std::size_t n,
+                                       const std::vector<Edge>& edges,
+                                       std::uint64_t seed,
+                                       int forests_per_level = 0);
+
+}  // namespace dp

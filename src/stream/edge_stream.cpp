@@ -1,0 +1,24 @@
+#include "stream/edge_stream.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace dp {
+
+void EdgeStream::for_each_pass(
+    const std::function<void(const Edge&)>& fn) const {
+  if (meter_ != nullptr) meter_->add_pass();
+  for (const Edge& e : graph_->edges()) fn(e);
+}
+
+void EdgeStream::for_each_pass_shuffled(
+    std::uint64_t seed, const std::function<void(const Edge&)>& fn) const {
+  if (meter_ != nullptr) meter_->add_pass();
+  std::vector<std::size_t> order(graph_->num_edges());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Rng rng(seed);
+  rng.shuffle(order);
+  for (std::size_t idx : order) fn(graph_->edge(static_cast<EdgeId>(idx)));
+}
+
+}  // namespace dp

@@ -1,0 +1,42 @@
+#pragma once
+// Semi-streaming access model: sequential read-only passes over the edge
+// list with pass counting. Algorithms in the streaming model may keep only
+// o(m) state; the ResourceMeter records passes and peak stored edges so
+// tests can assert the model is respected.
+
+#include <functional>
+
+#include "graph/graph.hpp"
+#include "util/accounting.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+
+class EdgeStream {
+ public:
+  /// Stream over g's edges in their stored order. The graph must outlive
+  /// the stream.
+  explicit EdgeStream(const Graph& g, ResourceMeter* meter = nullptr)
+      : graph_(&g), meter_(meter) {}
+
+  std::size_t num_vertices() const noexcept { return graph_->num_vertices(); }
+  std::size_t num_edges() const noexcept { return graph_->num_edges(); }
+
+  /// One pass: invoke fn(edge) for every edge in order. Increments the pass
+  /// counter.
+  void for_each_pass(const std::function<void(const Edge&)>& fn) const;
+
+  /// One pass in a random order determined by `seed` (models adversarial /
+  /// arbitrary arrival order differing between passes).
+  void for_each_pass_shuffled(std::uint64_t seed,
+                              const std::function<void(const Edge&)>& fn)
+      const;
+
+  ResourceMeter* meter() const noexcept { return meter_; }
+
+ private:
+  const Graph* graph_;
+  ResourceMeter* meter_;
+};
+
+}  // namespace dp

@@ -1,0 +1,18 @@
+#include "stream/reservoir.hpp"
+
+namespace dp {
+
+void EdgeReservoir::offer(EdgeId id, const Edge& e) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.emplace_back(id, e);
+    return;
+  }
+  // Classic reservoir rule: keep with probability capacity/seen.
+  const std::uint64_t slot = rng_.uniform(seen_);
+  if (slot < capacity_) {
+    sample_[slot] = {id, e};
+  }
+}
+
+}  // namespace dp

@@ -1,0 +1,37 @@
+#pragma once
+// Reservoir sampling over edge streams: a uniform sample of k edges in one
+// pass and O(k) space — the streaming-model implementation of the uniform
+// edge sampling that Lemma 19/20 (and the filtering baseline) rely on.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+
+class EdgeReservoir {
+ public:
+  EdgeReservoir(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  /// Offer the next stream element.
+  void offer(EdgeId id, const Edge& e);
+
+  /// Uniformly sampled (id, edge) pairs seen so far (size min(k, stream)).
+  const std::vector<std::pair<EdgeId, Edge>>& sample() const noexcept {
+    return sample_;
+  }
+
+  std::size_t stream_length() const noexcept { return seen_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::size_t seen_ = 0;
+  std::vector<std::pair<EdgeId, Edge>> sample_;
+};
+
+}  // namespace dp

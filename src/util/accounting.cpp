@@ -1,0 +1,28 @@
+#include "util/accounting.hpp"
+
+#include <sstream>
+
+namespace dp {
+
+void ResourceMeter::merge(const ResourceMeter& other) noexcept {
+  rounds_ += other.rounds_;
+  passes_ += other.passes_;
+  stored_edges_ += other.stored_edges_;
+  if (other.peak_edges_ > peak_edges_) peak_edges_ = other.peak_edges_;
+  if (stored_edges_ > peak_edges_) peak_edges_ = stored_edges_;
+  sketch_words_ += other.sketch_words_;
+  messages_ += other.messages_;
+  inner_iterations_ += other.inner_iterations_;
+  oracle_calls_ += other.oracle_calls_;
+}
+
+std::string ResourceMeter::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds_ << " passes=" << passes_
+     << " peak_edges=" << peak_edges_ << " sketch_words=" << sketch_words_
+     << " messages=" << messages_ << " inner_iters=" << inner_iterations_
+     << " oracle_calls=" << oracle_calls_;
+  return os.str();
+}
+
+}  // namespace dp

@@ -1,0 +1,80 @@
+#pragma once
+// Resource metering.
+//
+// The paper's theorems bound *resources of the computation model* — adaptive
+// sampling rounds, streaming passes, centrally stored edges, sketch words,
+// per-vertex messages — rather than wall-clock time. The substrates in this
+// library meter those quantities through a shared ResourceMeter so that
+// benchmarks report exactly what Theorem 1 / Theorem 15 bound.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dp {
+
+/// Counters for the resource-constrained models of Section 1 of the paper.
+/// All counters are plain (non-atomic); metered phases run single-threaded
+/// or aggregate thread-local meters at phase boundaries.
+class ResourceMeter {
+ public:
+  /// One adaptive sampling round (MapReduce round / sketch epoch).
+  void add_round(std::size_t k = 1) noexcept { rounds_ += k; }
+
+  /// One sequential pass over the input stream.
+  void add_pass(std::size_t k = 1) noexcept { passes_ += k; }
+
+  /// Edges currently held in central memory. Tracks a running total and the
+  /// peak, which is the "space" of Theorem 15.
+  void store_edges(std::size_t k) noexcept {
+    stored_edges_ += k;
+    if (stored_edges_ > peak_edges_) peak_edges_ = stored_edges_;
+  }
+  void release_edges(std::size_t k) noexcept {
+    stored_edges_ = k > stored_edges_ ? 0 : stored_edges_ - k;
+  }
+
+  /// Sketch words communicated (congested clique accounting).
+  void add_sketch_words(std::size_t k) noexcept { sketch_words_ += k; }
+
+  /// Generic message count (MapReduce shuffle volume).
+  void add_messages(std::size_t k) noexcept { messages_ += k; }
+
+  /// Inner (non-adaptive) iterations executed on stored data. The paper's
+  /// key distinction: these do NOT touch the input.
+  void add_inner_iterations(std::size_t k = 1) noexcept {
+    inner_iterations_ += k;
+  }
+
+  /// Oracle invocations (MicroOracle calls in Theorem 1).
+  void add_oracle_calls(std::size_t k = 1) noexcept { oracle_calls_ += k; }
+
+  std::size_t rounds() const noexcept { return rounds_; }
+  std::size_t passes() const noexcept { return passes_; }
+  std::size_t stored_edges() const noexcept { return stored_edges_; }
+  std::size_t peak_edges() const noexcept { return peak_edges_; }
+  std::size_t sketch_words() const noexcept { return sketch_words_; }
+  std::size_t messages() const noexcept { return messages_; }
+  std::size_t inner_iterations() const noexcept { return inner_iterations_; }
+  std::size_t oracle_calls() const noexcept { return oracle_calls_; }
+
+  void reset() noexcept { *this = ResourceMeter{}; }
+
+  /// Merge counters from another meter (peak = max of peaks).
+  void merge(const ResourceMeter& other) noexcept;
+
+  /// Human-readable one-line summary.
+  std::string summary() const;
+
+ private:
+  std::size_t rounds_ = 0;
+  std::size_t passes_ = 0;
+  std::size_t stored_edges_ = 0;
+  std::size_t peak_edges_ = 0;
+  std::size_t sketch_words_ = 0;
+  std::size_t messages_ = 0;
+  std::size_t inner_iterations_ = 0;
+  std::size_t oracle_calls_ = 0;
+};
+
+}  // namespace dp

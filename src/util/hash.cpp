@@ -1,0 +1,28 @@
+#include "util/hash.hpp"
+
+namespace dp {
+
+KWiseHash::KWiseHash(int k, Rng& rng) {
+  coef_.resize(static_cast<std::size_t>(k < 2 ? 2 : k));
+  for (auto& c : coef_) c = rng.uniform(MersenneField::kPrime);
+  // Leading coefficient nonzero so the polynomial has full degree.
+  if (coef_.back() == 0) coef_.back() = 1;
+}
+
+std::uint64_t KWiseHash::operator()(std::uint64_t x) const noexcept {
+  const std::uint64_t xr = MersenneField::reduce(x);
+  // Horner evaluation.
+  std::uint64_t acc = 0;
+  for (std::size_t i = coef_.size(); i-- > 0;) {
+    acc = MersenneField::add(MersenneField::mul(acc, xr), coef_[i]);
+  }
+  return acc;
+}
+
+TabulationHash::TabulationHash(Rng& rng) {
+  for (auto& table : table_) {
+    for (auto& cell : table) cell = rng.next();
+  }
+}
+
+}  // namespace dp

@@ -1,0 +1,24 @@
+#include "util/log.hpp"
+
+namespace dp {
+
+LogLevel& log_level() noexcept {
+  static LogLevel level = LogLevel::kOff;
+  return level;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& msg) {
+  const char* tag = "";
+  switch (level) {
+    case LogLevel::kError: tag = "[error] "; break;
+    case LogLevel::kInfo: tag = "[info]  "; break;
+    case LogLevel::kDebug: tag = "[debug] "; break;
+    case LogLevel::kOff: return;
+  }
+  std::cerr << tag << msg << '\n';
+}
+
+}  // namespace detail
+}  // namespace dp

@@ -1,0 +1,35 @@
+#pragma once
+// Leveled logging. Off by default so tests and benchmarks stay quiet;
+// examples turn on INFO to narrate the algorithm's progress.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dp {
+
+enum class LogLevel { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold (not thread-safe to mutate mid-run; set it once at
+/// startup).
+LogLevel& log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+#define DP_LOG(level, expr)                                       \
+  do {                                                            \
+    if (static_cast<int>(level) <=                                \
+        static_cast<int>(::dp::log_level())) {                    \
+      std::ostringstream dp_log_os;                               \
+      dp_log_os << expr;                                          \
+      ::dp::detail::log_line(level, dp_log_os.str());             \
+    }                                                             \
+  } while (0)
+
+#define DP_INFO(expr) DP_LOG(::dp::LogLevel::kInfo, expr)
+#define DP_DEBUG(expr) DP_LOG(::dp::LogLevel::kDebug, expr)
+#define DP_ERROR(expr) DP_LOG(::dp::LogLevel::kError, expr)
+
+}  // namespace dp

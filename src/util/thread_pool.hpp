@@ -1,0 +1,55 @@
+#pragma once
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The MapReduce simulator runs mappers/reducers in parallel on this pool; it
+// models the *physical* parallelism of a cluster while the ResourceMeter
+// models the *logical* resources (rounds, shuffle volume). Following the
+// C++ Core Guidelines (CP.*), all synchronization is confined to this class;
+// user tasks communicate only through their disjoint output slots.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dp {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (default: hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; fire-and-forget (join via wait_idle()).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait_idle();
+
+  /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks
+  /// across the pool. Blocks until all iterations complete. fn must write
+  /// only to per-index state.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dp

@@ -1,0 +1,26 @@
+#pragma once
+// Wall-clock timing for benchmarks.
+
+#include <chrono>
+
+namespace dp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void restart() noexcept { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction / last restart.
+  double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dp

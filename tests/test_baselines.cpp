@@ -1,0 +1,132 @@
+// Tests for the baseline algorithms: validity, approximation floors, and
+// resource metering.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "graph/generators.hpp"
+#include "matching/blossom_weighted.hpp"
+#include "matching/greedy.hpp"
+#include "test_helpers.hpp"
+
+namespace dp::baselines {
+namespace {
+
+class FilteringParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FilteringParam, ValidAndConstantFactor) {
+  const std::uint64_t seed = GetParam();
+  Graph g = gen::gnm(50, 350, seed * 7 + 2);
+  gen::weight_uniform(g, 1.0, 32.0, seed + 1);
+  ResourceMeter meter;
+  const Matching m = filtering_matching(g, 2.0, seed, &meter);
+  ASSERT_TRUE(m.is_valid(g));
+  const double opt = max_weight_matching(g).weight(g);
+  // Lattanzi-style filtering is an O(1) approximation; assert a generous
+  // constant floor.
+  EXPECT_GE(m.weight(g), opt / 8.0) << "seed " << seed;
+  EXPECT_GT(meter.rounds(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, FilteringParam,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Filtering, RoundsGrowSlowlyWithDensity) {
+  // For m <= budget, a single round per weight class suffices.
+  Graph g = gen::gnm(100, 400, 5);
+  gen::weight_unit(g);
+  ResourceMeter meter;
+  filtering_matching(g, 2.0, 6, &meter);
+  EXPECT_LE(meter.rounds(), 3u);
+}
+
+TEST(FilteringBMatching, ValidAndSaturating) {
+  Graph g = gen::gnm(30, 200, 9);
+  gen::weight_uniform(g, 1.0, 8.0, 10);
+  const Capacities b = gen::random_capacities(30, 1, 5, 11);
+  const BMatching bm = filtering_b_matching(g, b, 2.0, 12);
+  ASSERT_TRUE(bm.is_valid(g, b));
+  EXPECT_GT(bm.weight(g), 0.0);
+  const double greedy = greedy_b_matching(g, b).weight(g);
+  EXPECT_GE(bm.weight(g), greedy / 4.0);
+}
+
+TEST(StreamingGreedy, MaximalAndMetersOnePass) {
+  const Graph g = gen::gnm(40, 200, 13);
+  ResourceMeter meter;
+  const Matching m = streaming_greedy_matching(g, &meter);
+  ASSERT_TRUE(m.is_valid(g));
+  EXPECT_EQ(meter.passes(), 1u);
+  // Maximality: every edge touches a matched vertex.
+  const auto mate = m.mates(g);
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(mate[e.u] != Matching::kUnmatched ||
+                mate[e.v] != Matching::kUnmatched);
+  }
+}
+
+class PazSchwartzmanParam : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PazSchwartzmanParam, NearHalfApprox) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = test::small_random_graph(16, 0.4, seed + 40);
+  if (g.num_edges() == 0) return;
+  const Matching m = paz_schwartzman_matching(g, 0.01);
+  ASSERT_TRUE(m.is_valid(g));
+  const double opt = test::opt_weight(g);
+  // Local-ratio guarantee ~ 1/2 - eps; assert 0.4 with slack.
+  EXPECT_GE(m.weight(g), 0.4 * opt - 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PazSchwartzmanParam,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(PazSchwartzman, StackSpaceMetered) {
+  const Graph g = gen::gnm(60, 600, 15);
+  ResourceMeter meter;
+  paz_schwartzman_matching(g, 0.1, &meter);
+  EXPECT_EQ(meter.passes(), 1u);
+  EXPECT_GT(meter.peak_edges(), 0u);
+  EXPECT_LT(meter.peak_edges(), g.num_edges());
+}
+
+TEST(ImprovementMatching, ValidAndReactsToHeavyLateEdges) {
+  // Heavy edge arrives last and should displace light earlier matches.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(1, 2, 100.0);
+  const Matching m = improvement_matching(g, 0.5);
+  ASSERT_TRUE(m.is_valid(g));
+  EXPECT_DOUBLE_EQ(m.weight(g), 100.0);
+}
+
+TEST(ImprovementMatching, RandomValid) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = test::small_random_graph(14, 0.4, seed + 70);
+    const Matching m = improvement_matching(g, 0.2);
+    ASSERT_TRUE(m.is_valid(g));
+  }
+}
+
+TEST(SampleAndSolve, OneRoundAndSublinearSample) {
+  const Graph g = gen::gnm(60, 1500, 19);
+  ResourceMeter meter;
+  const Matching m = sample_and_solve(g, 1.3, 20, &meter);
+  ASSERT_TRUE(m.is_valid(g));
+  EXPECT_EQ(meter.rounds(), 1u);
+  EXPECT_LT(meter.peak_edges(), g.num_edges());
+  EXPECT_GT(m.weight(g), 0.0);
+}
+
+TEST(SampleAndSolve, TakesAllWhenBudgetCoversM) {
+  const Graph g = gen::gnm(20, 50, 21);
+  const Matching sampled = sample_and_solve(g, 2.0, 22);
+  // Budget n^{1.5} = ~90 > m: should behave like an offline solve.
+  const double opt = max_weight_matching(g).weight(g);
+  EXPECT_GE(sampled.weight(g), 0.95 * opt);
+}
+
+}  // namespace
+}  // namespace dp::baselines

@@ -1,0 +1,123 @@
+// Tests for Dinic max-flow and the Gomory-Hu tree (validated against
+// brute-force min cuts on random small graphs).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/dinic.hpp"
+#include "graph/generators.hpp"
+#include "graph/gomory_hu.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+namespace {
+
+/// Brute-force s-t min cut by enumerating all bipartitions (n <= 16).
+std::int64_t brute_min_cut(std::size_t n, const std::vector<Edge>& edges,
+                           const std::vector<std::int64_t>& cap,
+                           std::uint32_t s, std::uint32_t t) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    if (!(mask >> s & 1) || (mask >> t & 1)) continue;
+    std::int64_t cut = 0;
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      const bool u_in = mask >> edges[e].u & 1;
+      const bool v_in = mask >> edges[e].v & 1;
+      if (u_in != v_in) cut += cap[e];
+    }
+    best = std::min(best, cut);
+  }
+  return best;
+}
+
+TEST(Dinic, SimplePath) {
+  Dinic d(3);
+  d.add_arc(0, 1, 5);
+  d.add_arc(1, 2, 3);
+  EXPECT_EQ(d.max_flow(0, 2), 3);
+}
+
+TEST(Dinic, ParallelPaths) {
+  Dinic d(4);
+  d.add_arc(0, 1, 2);
+  d.add_arc(1, 3, 2);
+  d.add_arc(0, 2, 3);
+  d.add_arc(2, 3, 1);
+  EXPECT_EQ(d.max_flow(0, 3), 3);
+}
+
+TEST(Dinic, UndirectedEdgeBothWays) {
+  Dinic d(2);
+  d.add_edge(0, 1, 4);
+  EXPECT_EQ(d.max_flow(0, 1), 4);
+  EXPECT_EQ(d.max_flow(1, 0), 4);  // reusable after reset
+}
+
+TEST(Dinic, MinCutSideSeparates) {
+  Dinic d(4);
+  d.add_edge(0, 1, 10);
+  d.add_edge(1, 2, 1);
+  d.add_edge(2, 3, 10);
+  EXPECT_EQ(d.max_flow(0, 3), 1);
+  const auto side = d.min_cut_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[2]);
+  EXPECT_FALSE(side[3]);
+}
+
+class GomoryHuParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GomoryHuParam, AllPairsMatchBruteForce) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t n = 5 + seed % 5;  // 5..9
+  Graph g = gen::gnm(n, std::min(n * (n - 1) / 2, 2 * n), seed * 17 + 3);
+  std::vector<std::int64_t> cap(g.num_edges());
+  for (auto& c : cap) c = rng.uniform_int(1, 9);
+
+  const GomoryHuTree tree = gomory_hu(n, g.edges(), cap);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t t = s + 1; t < n; ++t) {
+      EXPECT_EQ(tree.min_cut(s, t),
+                brute_min_cut(n, g.edges(), cap, s, t))
+          << "pair (" << s << "," << t << ") seed " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, GomoryHuParam,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(GomoryHu, CutSideIsFundamentalCut) {
+  // Path graph: tree should reflect the path cuts.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const std::vector<std::int64_t> cap{3, 1, 2};
+  const GomoryHuTree tree = gomory_hu(4, g.edges(), cap);
+  EXPECT_EQ(tree.min_cut(0, 3), 1);
+  EXPECT_EQ(tree.min_cut(0, 1), 3);
+  // Every cut side must contain its defining vertex.
+  for (std::uint32_t v = 1; v < 4; ++v) {
+    const auto side = tree.cut_side(v);
+    EXPECT_NE(std::find(side.begin(), side.end(), v), side.end());
+  }
+}
+
+TEST(GomoryHu, DisconnectedGraphZeroCuts) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const std::vector<std::int64_t> cap{5, 7};
+  const GomoryHuTree tree = gomory_hu(4, g.edges(), cap);
+  EXPECT_EQ(tree.min_cut(0, 2), 0);
+  EXPECT_EQ(tree.min_cut(0, 1), 5);
+  EXPECT_EQ(tree.min_cut(2, 3), 7);
+}
+
+}  // namespace
+}  // namespace dp

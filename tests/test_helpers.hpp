@@ -1,0 +1,52 @@
+#pragma once
+// Shared helpers for the test suite: small random graph factories and
+// brute-force references.
+
+#include <cstdint>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "matching/exact_small.hpp"
+#include "util/rng.hpp"
+
+namespace dp::test {
+
+/// Random graph with n <= 24 vertices, random weights in [1, 10].
+inline Graph small_random_graph(std::size_t n, double density,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform_real() < density) {
+        g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j),
+                   1.0 + 9.0 * rng.uniform_real());
+      }
+    }
+  }
+  return g;
+}
+
+/// Random graph with integer weights in [1, max_w] (exact blossom is exact
+/// on these).
+inline Graph small_random_int_graph(std::size_t n, double density,
+                                    std::int64_t max_w, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (rng.uniform_real() < density) {
+        g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>(j),
+                   static_cast<double>(rng.uniform_int(1, max_w)));
+      }
+    }
+  }
+  return g;
+}
+
+/// Ground-truth maximum matching weight via bitmask DP (n <= 24).
+inline double opt_weight(const Graph& g) {
+  return exact_matching_weight_small(g);
+}
+
+}  // namespace dp::test

@@ -1,0 +1,241 @@
+// Tests for the matching substrate: greedy, maximal, exact solvers
+// (bitmask DP, Hungarian, blossoms) and the approximate offline solver.
+// The weighted blossom is validated exhaustively against the DP.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "matching/approx.hpp"
+#include "matching/blossom_unweighted.hpp"
+#include "matching/blossom_weighted.hpp"
+#include "matching/exact_small.hpp"
+#include "matching/greedy.hpp"
+#include "matching/hungarian.hpp"
+#include "test_helpers.hpp"
+
+namespace dp {
+namespace {
+
+TEST(Greedy, ValidAndHalfApprox) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Graph g = test::small_random_graph(12, 0.4, seed);
+    const Matching m = greedy_matching(g);
+    ASSERT_TRUE(m.is_valid(g));
+    const double opt = test::opt_weight(g);
+    EXPECT_GE(m.weight(g), 0.5 * opt - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Greedy, TrapPathIsTight) {
+  // Greedy picks the (1+delta) middle edges and loses nearly half.
+  const Graph g = gen::greedy_trap_path(20, 0.01);
+  const Matching greedy = greedy_matching(g);
+  const Matching opt = max_weight_matching(g);
+  ASSERT_TRUE(greedy.is_valid(g));
+  EXPECT_LT(greedy.weight(g), 0.6 * opt.weight(g));
+}
+
+TEST(Maximal, EveryEdgeBlocked) {
+  const Graph g = test::small_random_graph(15, 0.3, 7);
+  const Matching m = maximal_matching(g);
+  ASSERT_TRUE(m.is_valid(g));
+  const auto mate = m.mates(g);
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(mate[e.u] != Matching::kUnmatched ||
+                mate[e.v] != Matching::kUnmatched);
+  }
+}
+
+TEST(ExactSmall, PathAndTriangle) {
+  Graph path(4);
+  path.add_edge(0, 1, 1.0);
+  path.add_edge(1, 2, 5.0);
+  path.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(exact_matching_weight_small(path), 5.0);
+
+  Graph tri(3);
+  tri.add_edge(0, 1, 2.0);
+  tri.add_edge(1, 2, 3.0);
+  tri.add_edge(0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(exact_matching_weight_small(tri), 4.0);
+}
+
+TEST(ExactSmall, MatchesReconstruction) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = test::small_random_graph(10, 0.5, seed);
+    const Matching m = exact_matching_small(g);
+    ASSERT_TRUE(m.is_valid(g));
+    EXPECT_NEAR(m.weight(g), exact_matching_weight_small(g), 1e-9);
+  }
+}
+
+TEST(ExactSmall, RejectsLargeGraphs) {
+  EXPECT_THROW(exact_matching_small(Graph(30)), std::invalid_argument);
+}
+
+class BlossomWeightedParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlossomWeightedParam, MatchesBitmaskDP) {
+  const std::uint64_t seed = GetParam();
+  // Vary size/density with the seed for coverage diversity.
+  const std::size_t n = 6 + seed % 9;           // 6..14
+  const double density = 0.25 + 0.1 * (seed % 6);
+  const Graph g = test::small_random_int_graph(n, density, 40, seed * 77 + 1);
+  const Matching blossom = max_weight_matching(g);
+  ASSERT_TRUE(blossom.is_valid(g));
+  EXPECT_NEAR(blossom.weight(g), test::opt_weight(g), 1e-9)
+      << "n=" << n << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BlossomWeightedParam,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(BlossomWeighted, FractionalWeightsViaScaling) {
+  for (std::uint64_t seed = 100; seed < 110; ++seed) {
+    const Graph g = test::small_random_graph(10, 0.5, seed);
+    const Matching m = max_weight_matching(g);
+    ASSERT_TRUE(m.is_valid(g));
+    EXPECT_NEAR(m.weight(g), test::opt_weight(g), 1e-6);
+  }
+}
+
+TEST(BlossomWeighted, EmptyAndSingleEdge) {
+  EXPECT_TRUE(max_weight_matching(Graph(0)).empty());
+  EXPECT_TRUE(max_weight_matching(Graph(5)).empty());
+  Graph g(2);
+  g.add_edge(0, 1, 3.0);
+  EXPECT_EQ(max_weight_matching(g).size(), 1u);
+}
+
+class BlossomUnweightedParam
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlossomUnweightedParam, MaxCardinalityMatchesDP) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t n = 5 + seed % 10;
+  Graph g = test::small_random_graph(n, 0.35, seed * 13 + 5);
+  gen::weight_unit(g);
+  const Matching m = max_cardinality_matching(g);
+  ASSERT_TRUE(m.is_valid(g));
+  EXPECT_NEAR(static_cast<double>(m.size()), test::opt_weight(g), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, BlossomUnweightedParam,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(BlossomUnweighted, OddCycleNeedsContraction) {
+  // C5: maximum matching 2; greedy BFS without blossoms would fail.
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(static_cast<Vertex>(i), static_cast<Vertex>((i + 1) % 5),
+               1.0);
+  }
+  EXPECT_EQ(max_cardinality_matching(g).size(), 2u);
+}
+
+class HungarianParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HungarianParam, MatchesDPOnBipartite) {
+  const std::uint64_t seed = GetParam();
+  const std::size_t nl = 3 + seed % 5;
+  const std::size_t nr = 3 + (seed / 2) % 5;
+  Graph g = gen::bipartite(nl, nr, std::min(nl * nr, nl * nr / 2 + 2),
+                           seed * 31 + 7);
+  gen::weight_uniform(g, 1.0, 9.0, seed);
+  const Matching m = hungarian_matching(g);
+  ASSERT_TRUE(m.is_valid(g));
+  EXPECT_NEAR(m.weight(g), test::opt_weight(g), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBipartite, HungarianParam,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(Hungarian, RejectsOddCycle) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(0, 2, 1.0);
+  EXPECT_THROW(hungarian_matching(g), std::invalid_argument);
+}
+
+TEST(Bipartition, DetectsBipartite) {
+  const Graph g = gen::bipartite(4, 5, 12, 3);
+  const auto side = bipartition(g);
+  ASSERT_TRUE(side.has_value());
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE((*side)[e.u], (*side)[e.v]);
+  }
+}
+
+class LocalSearchParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchParam, AtLeastTwoThirdsInPractice) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = test::small_random_graph(14, 0.4, seed * 3 + 11);
+  const Matching m = local_search_matching(g, 64, seed);
+  ASSERT_TRUE(m.is_valid(g));
+  const double opt = test::opt_weight(g);
+  // One-for-two + two-for-one local optimality empirically lands >= 0.8;
+  // assert a conservative 2/3.
+  EXPECT_GE(m.weight(g), (2.0 / 3.0) * opt - 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, LocalSearchParam,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(ApproxDispatch, UsesExactForSmall) {
+  const Graph g = test::small_random_graph(12, 0.5, 99);
+  const Matching m = approx_weighted_matching(g);
+  EXPECT_NEAR(m.weight(g), test::opt_weight(g), 1e-6);
+}
+
+TEST(BMatchingGreedy, ValidAndHalfOfExact) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Graph g = test::small_random_graph(8, 0.45, seed + 500);
+    const Capacities b = gen::random_capacities(8, 1, 3, seed);
+    const BMatching bm = greedy_b_matching(g, b);
+    ASSERT_TRUE(bm.is_valid(g, b));
+    if (g.num_edges() <= 18) {
+      const double opt = exact_b_matching_weight_small(g, b);
+      EXPECT_GE(bm.weight(g), 0.5 * opt - 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BMatchingApprox, ImprovesOnGreedyOrEqual) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Graph g = test::small_random_graph(10, 0.5, seed + 900);
+    const Capacities b = gen::random_capacities(10, 1, 4, seed);
+    const BMatching greedy = greedy_b_matching(g, b);
+    const BMatching better = approx_weighted_b_matching(g, b);
+    ASSERT_TRUE(better.is_valid(g, b));
+    EXPECT_GE(better.weight(g), greedy.weight(g) - 1e-9);
+  }
+}
+
+TEST(BMatchingSaturation, MultiplicityIsResidualMin) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 1.0);
+  const Capacities b(3, 3);
+  const BMatching bm = greedy_b_matching(g, b);
+  EXPECT_EQ(bm.multiplicity(0), 3);  // saturates both 0 and 1
+  EXPECT_EQ(bm.multiplicity(1), 0);  // vertex 1 exhausted
+}
+
+TEST(MatchingTypes, MatesAndValidity) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(1, 2, 1.0);
+  Matching m({0, 1});
+  ASSERT_TRUE(m.is_valid(g));
+  const auto mates = m.mates(g);
+  EXPECT_EQ(mates[0], 1u);
+  EXPECT_EQ(mates[3], 2u);
+  Matching bad({0, 2});  // edges 0 and 2 share vertex 1
+  EXPECT_FALSE(bad.is_valid(g));
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,190 @@
+// Tests for the sketch substrate: 1-sparse recovery, l0-sampling, AGM graph
+// sketches and the sketch-based spanning forest (the paper's "1 sampling
+// round, O(log n) deferred uses" example).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators.hpp"
+#include "sketch/agm.hpp"
+#include "sketch/l0sampler.hpp"
+#include "sketch/onesparse.hpp"
+#include "sketch/spanning_forest.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+namespace {
+
+TEST(OneSparse, RecoversSingleton) {
+  OneSparse s(12345);
+  s.update(42, 7);
+  const auto rec = s.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->index, 42u);
+  EXPECT_EQ(rec->count, 7);
+}
+
+TEST(OneSparse, RejectsTwoSparse) {
+  Rng rng(1);
+  int false_positives = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    OneSparse s(rng.uniform(MersenneField::kPrime - 2) + 1);
+    s.update(10 + trial, 1);
+    s.update(20 + trial, 1);
+    if (s.recover().has_value()) ++false_positives;
+  }
+  EXPECT_LE(false_positives, 1);
+}
+
+TEST(OneSparse, CancellationToZero) {
+  OneSparse s(999);
+  s.update(5, 3);
+  s.update(5, -3);
+  EXPECT_TRUE(s.is_zero());
+  EXPECT_FALSE(s.recover().has_value());
+}
+
+TEST(OneSparse, MergeIsLinear) {
+  OneSparse a(777), b(777);
+  a.update(9, 2);
+  b.update(9, 3);
+  a.merge(b);
+  const auto rec = a.recover();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->count, 5);
+}
+
+TEST(L0Sampler, SamplesNonzeroCoordinate) {
+  Rng rng(3);
+  const L0SamplerSeed seed(20, 8, rng);
+  L0Sampler sampler(seed);
+  std::set<std::uint64_t> support{10, 500, 123456, 9999999};
+  for (std::uint64_t idx : support) sampler.update(idx, 1);
+  const auto rec = sampler.sample();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_TRUE(support.count(rec->index)) << rec->index;
+}
+
+TEST(L0Sampler, ZeroVectorReturnsNothing) {
+  Rng rng(4);
+  const L0SamplerSeed seed(16, 4, rng);
+  L0Sampler sampler(seed);
+  EXPECT_FALSE(sampler.sample().has_value());
+  sampler.update(77, 1);
+  sampler.update(77, -1);
+  EXPECT_FALSE(sampler.sample().has_value());
+}
+
+TEST(L0Sampler, MergeCancelsSharedSupport) {
+  Rng rng(5);
+  const L0SamplerSeed seed(20, 8, rng);
+  L0Sampler a(seed), b(seed);
+  a.update(100, 1);
+  a.update(200, 1);
+  b.update(100, -1);  // cancels after merge
+  a.merge(b);
+  const auto rec = a.sample();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->index, 200u);
+}
+
+TEST(L0Sampler, SuccessRateHigh) {
+  Rng rng(6);
+  const L0SamplerSeed seed(24, 8, rng);
+  int successes = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    L0Sampler sampler(seed);
+    // Random support of size ~ trial.
+    Rng inner(trial + 1000);
+    std::set<std::uint64_t> support;
+    for (int i = 0; i <= trial; ++i) support.insert(inner.uniform(1 << 20));
+    for (std::uint64_t idx : support) sampler.update(idx, 1);
+    const auto rec = sampler.sample();
+    if (rec.has_value() && support.count(rec->index)) ++successes;
+  }
+  EXPECT_GE(successes, 45);
+}
+
+TEST(AgmSketch, SamplesBoundaryEdge) {
+  // Two cliques joined by a single edge; the boundary of clique 1 is that
+  // edge alone, so sampling must return it.
+  Graph g(8);
+  for (Vertex i = 0; i < 4; ++i) {
+    for (Vertex j = i + 1; j < 4; ++j) g.add_edge(i, j);
+  }
+  for (Vertex i = 4; i < 8; ++i) {
+    for (Vertex j = i + 1; j < 8; ++j) g.add_edge(i, j);
+  }
+  g.add_edge(0, 4);
+  Rng rng(7);
+  const L0SamplerSeed seed(16, 8, rng);
+  const AgmSketch sketch(g, seed);
+  std::vector<char> in_set{1, 1, 1, 1, 0, 0, 0, 0};
+  const auto edge = sketch.sample_boundary(in_set);
+  ASSERT_TRUE(edge.has_value());
+  const auto lo = std::min(edge->u, edge->v);
+  const auto hi = std::max(edge->u, edge->v);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 4u);
+}
+
+TEST(AgmSketch, WordsAccounted) {
+  const Graph g = gen::gnm(20, 40, 8);
+  Rng rng(8);
+  const L0SamplerSeed seed(12, 4, rng);
+  ResourceMeter meter;
+  const AgmSketch sketch(g, seed, &meter);
+  EXPECT_EQ(meter.sketch_words(), sketch.words());
+  EXPECT_GT(sketch.words(), 0u);
+}
+
+class SketchForestParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SketchForestParam, FindsAllComponents) {
+  const std::uint64_t seed = GetParam();
+  // A few disconnected clusters.
+  const std::size_t k = 2 + seed % 3;
+  Graph g(k * 12);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto base = static_cast<Vertex>(c * 12);
+    for (Vertex i = 0; i < 12; ++i) {
+      for (Vertex j = i + 1; j < 12; ++j) {
+        if (rng.uniform_real() < 0.4) g.add_edge(base + i, base + j);
+      }
+    }
+    // Ensure each cluster is connected (a path).
+    for (Vertex i = 0; i + 1 < 12; ++i) g.add_edge(base + i, base + i + 1);
+  }
+  ResourceMeter meter;
+  const SketchForestResult result =
+      sketch_spanning_forest(g, seed * 97 + 11, &meter);
+  EXPECT_EQ(result.components, k);
+  EXPECT_EQ(result.sampling_rounds, 1u);
+  EXPECT_EQ(meter.rounds(), 1u);
+  EXPECT_GE(result.forest.size(), g.num_vertices() - k);
+  // Forest edges must be real edges of g.
+  std::set<std::pair<Vertex, Vertex>> edge_set;
+  for (const Edge& e : g.edges()) {
+    edge_set.emplace(std::min(e.u, e.v), std::max(e.u, e.v));
+  }
+  for (const Edge& e : result.forest) {
+    EXPECT_TRUE(edge_set.count({std::min(e.u, e.v), std::max(e.u, e.v)}));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Clusters, SketchForestParam,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(SketchForest, UseStepsLogarithmic) {
+  const Graph g = gen::gnm(128, 600, 21);
+  const SketchForestResult result = sketch_spanning_forest(g, 22);
+  // Boruvka over sketches: O(log n) deferred use steps.
+  EXPECT_LE(result.use_steps, 9u);
+}
+
+}  // namespace
+}  // namespace dp

@@ -1,0 +1,223 @@
+// Tests for the sparsification substrate: strength estimation, weighted cut
+// sparsifiers, deferred sparsifiers (Definition 4 / Lemma 17) and the cut
+// evaluation utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "sparsify/cut_eval.hpp"
+#include "sparsify/cut_sparsifier.hpp"
+#include "sparsify/deferred.hpp"
+#include "sparsify/strength.hpp"
+#include "util/rng.hpp"
+
+namespace dp {
+namespace {
+
+std::vector<double> unit_weights(const Graph& g) {
+  return std::vector<double>(g.num_edges(), 1.0);
+}
+
+TEST(Strength, BridgeIsWeakCliqueIsStrong) {
+  // Two K8 cliques joined by one bridge.
+  Graph g(16);
+  for (Vertex i = 0; i < 8; ++i) {
+    for (Vertex j = i + 1; j < 8; ++j) {
+      g.add_edge(i, j);
+      g.add_edge(i + 8, j + 8);
+    }
+  }
+  g.add_edge(0, 8);  // bridge, last edge
+  const auto strength = estimate_strengths(16, g.edges(), 5);
+  const double bridge = strength.back();
+  double clique_avg = 0;
+  for (std::size_t e = 0; e + 1 < strength.size(); ++e) {
+    clique_avg += strength[e];
+  }
+  clique_avg /= static_cast<double>(strength.size() - 1);
+  EXPECT_GT(clique_avg, bridge);
+  for (double s : strength) EXPECT_GE(s, 1.0);
+}
+
+class SparsifierQualityParam
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparsifierQualityParam, CutsPreserved) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::gnm(60, 500, seed * 7 + 1);
+  const auto w = unit_weights(g);
+  SparsifierOptions opt;
+  opt.xi = 0.2;
+  const auto kept = cut_sparsify(g.num_vertices(), g.edges(), w, opt,
+                                 seed * 13 + 5);
+  const double err =
+      max_cut_error(g.num_vertices(), g.edges(), w, kept, 200, seed);
+  // Allow modest slack over the target xi (finite-sample constants).
+  EXPECT_LT(err, 2.5 * opt.xi) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SparsifierQualityParam,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Sparsifier, WeightedClassesPreserved) {
+  Graph g = gen::gnm(50, 400, 3);
+  gen::weight_zipf(g, 1.0, 4);
+  std::vector<double> w(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) w[e] = g.edge(e).w;
+  SparsifierOptions opt;
+  opt.xi = 0.2;
+  const auto kept = cut_sparsify(g, opt, 7);
+  const double err = max_cut_error(g.num_vertices(), g.edges(), w, kept,
+                                   200, 11);
+  EXPECT_LT(err, 2.5 * opt.xi);
+}
+
+TEST(Sparsifier, SparseOnDenseGraph) {
+  const Graph g = gen::gnm(120, 6000, 9);
+  SparsifierOptions opt;
+  opt.xi = 0.5;
+  opt.sampling_constant = 1.5;
+  const auto kept = cut_sparsify(g, opt, 10);
+  EXPECT_LT(kept.size(), g.num_edges());
+}
+
+TEST(Sparsifier, ZeroWeightEdgesDropped) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  std::vector<double> w{1.0, 0.0, 1.0};
+  const auto kept =
+      cut_sparsify(4, g.edges(), w, SparsifierOptions{}, 1);
+  for (const auto& s : kept) EXPECT_NE(s.index, 1u);
+}
+
+TEST(SparsifierToGraph, PreservesEndpoints) {
+  const Graph g = gen::gnm(30, 100, 12);
+  const auto kept = cut_sparsify(g, SparsifierOptions{}, 13);
+  const Graph h = sparsifier_to_graph(g.num_vertices(), g.edges(), kept);
+  EXPECT_EQ(h.num_edges(), kept.size());
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+}
+
+class DeferredParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeferredParam, DistortedPromiseStillSparsifies) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = gen::gnm(60, 500, seed + 31);
+  Rng rng(seed);
+
+  // Exact weights u_e; promises sigma_e distorted by up to gamma each way.
+  DeferredOptions opt;
+  opt.xi = 0.2;
+  opt.gamma = 2.0;
+  std::vector<double> exact(g.num_edges()), promise(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    exact[e] = 1.0 + 4.0 * rng.uniform_real();
+    const double distort =
+        std::pow(opt.gamma, 2.0 * rng.uniform_real() - 1.0);
+    promise[e] = exact[e] * distort;
+  }
+
+  const DeferredSparsifier ds(g.num_vertices(), g.edges(), promise, opt,
+                              seed * 3 + 2);
+  const auto kept = ds.refine_from_full(exact);
+  const double err = max_cut_error(g.num_vertices(), g.edges(), exact, kept,
+                                   200, seed);
+  EXPECT_LT(err, 2.5 * opt.xi) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, DeferredParam,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(Deferred, StoresMoreWithLargerGamma) {
+  // Compare expected stored sizes (deterministic probability sums) so the
+  // assertion is immune to sampling noise; the gamma^2 oversampling must
+  // strictly increase inclusion probabilities wherever they are below 1.
+  const Graph g = gen::gnm(150, 8000, 41);
+  std::vector<double> promise(g.num_edges(), 1.0);
+  DeferredOptions small, large;
+  small.xi = large.xi = 0.5;
+  small.sampling_constant = large.sampling_constant = 1.0;
+  small.gamma = 1.0;
+  large.gamma = 3.0;
+  const auto pa = deferred_probabilities(g.num_vertices(), g.edges(),
+                                         promise, small, 1);
+  const auto pb = deferred_probabilities(g.num_vertices(), g.edges(),
+                                         promise, large, 1);
+  double sum_a = 0, sum_b = 0;
+  for (double p : pa) sum_a += p;
+  for (double p : pb) sum_b += p;
+  EXPECT_LT(sum_a, static_cast<double>(g.num_edges()));  // not saturated
+  EXPECT_GT(sum_b, sum_a + 1.0);
+  for (std::size_t e = 0; e < pa.size(); ++e) {
+    EXPECT_GE(pb[e], pa[e] - 1e-12);
+  }
+}
+
+TEST(Deferred, MeterChargedOnceAndStored) {
+  const Graph g = gen::gnm(40, 300, 42);
+  std::vector<double> promise(g.num_edges(), 1.0);
+  ResourceMeter meter;
+  const DeferredSparsifier ds(g.num_vertices(), g.edges(), promise,
+                              DeferredOptions{}, 2, &meter);
+  EXPECT_EQ(meter.rounds(), 1u);
+  EXPECT_EQ(meter.peak_edges(), ds.size());
+}
+
+TEST(Deferred, RefineRejectsSizeMismatch) {
+  const Graph g = gen::gnm(10, 20, 43);
+  std::vector<double> promise(g.num_edges(), 1.0);
+  const DeferredSparsifier ds(g.num_vertices(), g.edges(), promise,
+                              DeferredOptions{}, 3);
+  EXPECT_THROW(ds.refine({}), std::invalid_argument);
+  EXPECT_THROW(
+      (DeferredSparsifier{g.num_vertices(), g.edges(),
+                          std::vector<double>(3, 1.0), DeferredOptions{}, 4}),
+      std::invalid_argument);
+}
+
+TEST(Deferred, ProbabilitiesSharedAcrossDraws) {
+  const Graph g = gen::gnm(50, 400, 44);
+  std::vector<double> promise(g.num_edges(), 1.0);
+  const auto prob = deferred_probabilities(g.num_vertices(), g.edges(),
+                                           promise, DeferredOptions{}, 5);
+  ASSERT_EQ(prob.size(), g.num_edges());
+  for (double p : prob) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(CutEval, WeightedCutBasics) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 4.0);
+  const std::vector<double> w{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(weighted_cut(g.edges(), w, {1, 0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(weighted_cut(g.edges(), w, {1, 1, 0, 0}), 2.0);
+}
+
+TEST(StoerWagner, KnownMinCut) {
+  // Two triangles joined by a single light edge.
+  Graph g(6);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 2, 3.0);
+  g.add_edge(0, 2, 3.0);
+  g.add_edge(3, 4, 3.0);
+  g.add_edge(4, 5, 3.0);
+  g.add_edge(3, 5, 3.0);
+  g.add_edge(2, 3, 1.0);
+  std::vector<double> w;
+  for (const Edge& e : g.edges()) w.push_back(e.w);
+  std::vector<char> side;
+  const double cut = stoer_wagner_min_cut(6, g.edges(), w, &side);
+  EXPECT_DOUBLE_EQ(cut, 1.0);
+  EXPECT_NE(side[0], side[5]);
+}
+
+}  // namespace
+}  // namespace dp

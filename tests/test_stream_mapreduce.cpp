@@ -1,0 +1,162 @@
+// Tests for the streaming and MapReduce substrates: pass counting, shuffle
+// grouping, reducer memory caps and round accounting.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "graph/generators.hpp"
+#include "mapreduce/mapreduce.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace dp {
+namespace {
+
+TEST(EdgeStream, PassCountingAndOrder) {
+  const Graph g = gen::gnm(20, 50, 1);
+  ResourceMeter meter;
+  EdgeStream stream(g, &meter);
+  std::size_t count = 0;
+  stream.for_each_pass([&](const Edge&) { ++count; });
+  stream.for_each_pass([&](const Edge&) {});
+  EXPECT_EQ(count, 50u);
+  EXPECT_EQ(meter.passes(), 2u);
+}
+
+TEST(EdgeStream, ShuffledPassSameMultiset) {
+  const Graph g = gen::gnm(15, 40, 2);
+  EdgeStream stream(g);
+  std::map<std::pair<Vertex, Vertex>, int> seen;
+  stream.for_each_pass_shuffled(7, [&](const Edge& e) {
+    seen[{std::min(e.u, e.v), std::max(e.u, e.v)}]++;
+  });
+  std::size_t total = 0;
+  for (const auto& [key, c] : seen) total += static_cast<std::size_t>(c);
+  EXPECT_EQ(total, 40u);
+}
+
+TEST(EdgeStream, ShuffleDeterministicInSeed) {
+  const Graph g = gen::gnm(10, 30, 3);
+  EdgeStream stream(g);
+  std::vector<Vertex> order_a, order_b;
+  stream.for_each_pass_shuffled(5, [&](const Edge& e) {
+    order_a.push_back(e.u);
+  });
+  stream.for_each_pass_shuffled(5, [&](const Edge& e) {
+    order_b.push_back(e.u);
+  });
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(MapReduce, WordCountStyleRound) {
+  using mapreduce::KeyValue;
+  mapreduce::Config config;
+  config.machines = 4;
+  ResourceMeter meter;
+  mapreduce::Simulator sim(config, &meter);
+
+  // Input: key = word id, value = 1. Reducer sums.
+  std::vector<KeyValue> input;
+  for (std::uint64_t w = 0; w < 10; ++w) {
+    for (std::uint64_t i = 0; i <= w; ++i) input.push_back({w, 1});
+  }
+  const auto output = sim.round(
+      input,
+      [](const std::vector<KeyValue>& shard, std::vector<KeyValue>& emit) {
+        for (const KeyValue& kv : shard) emit.push_back(kv);
+      },
+      [](std::uint64_t key, const std::vector<std::uint64_t>& values,
+         std::vector<KeyValue>& emit) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : values) sum += v;
+        emit.push_back({key, sum});
+      });
+  ASSERT_EQ(output.size(), 10u);
+  std::map<std::uint64_t, std::uint64_t> result;
+  for (const KeyValue& kv : output) result[kv.key] = kv.value;
+  for (std::uint64_t w = 0; w < 10; ++w) {
+    EXPECT_EQ(result[w], w + 1);
+  }
+  EXPECT_EQ(meter.rounds(), 1u);
+  EXPECT_EQ(meter.messages(), input.size());
+}
+
+TEST(MapReduce, ReducerMemoryCapEnforced) {
+  using mapreduce::KeyValue;
+  mapreduce::Config config;
+  config.machines = 2;
+  config.reducer_memory = 5;
+  mapreduce::Simulator sim(config);
+  std::vector<KeyValue> input(10, KeyValue{1, 1});  // all to one reducer
+  EXPECT_THROW(
+      sim.round(
+          input,
+          [](const std::vector<KeyValue>& shard,
+             std::vector<KeyValue>& emit) {
+            for (const KeyValue& kv : shard) emit.push_back(kv);
+          },
+          [](std::uint64_t, const std::vector<std::uint64_t>&,
+             std::vector<KeyValue>&) {}),
+      mapreduce::ReducerMemoryExceeded);
+}
+
+TEST(MapReduce, MultipleRoundsCounted) {
+  using mapreduce::KeyValue;
+  mapreduce::Simulator sim(mapreduce::Config{});
+  std::vector<KeyValue> data{{1, 1}, {2, 2}};
+  auto identity_map = [](const std::vector<KeyValue>& shard,
+                         std::vector<KeyValue>& emit) {
+    for (const KeyValue& kv : shard) emit.push_back(kv);
+  };
+  auto identity_reduce = [](std::uint64_t key,
+                            const std::vector<std::uint64_t>& values,
+                            std::vector<KeyValue>& emit) {
+    for (std::uint64_t v : values) emit.push_back({key, v});
+  };
+  data = sim.round(data, identity_map, identity_reduce);
+  data = sim.round(data, identity_map, identity_reduce);
+  data = sim.round(data, identity_map, identity_reduce);
+  EXPECT_EQ(sim.rounds_executed(), 3u);
+  EXPECT_EQ(data.size(), 2u);
+}
+
+TEST(MapReduce, EmptyInputProducesEmptyOutput) {
+  using mapreduce::KeyValue;
+  mapreduce::Simulator sim(mapreduce::Config{});
+  const auto output = sim.round(
+      {},
+      [](const std::vector<KeyValue>&, std::vector<KeyValue>&) {},
+      [](std::uint64_t, const std::vector<std::uint64_t>&,
+         std::vector<KeyValue>&) {});
+  EXPECT_TRUE(output.empty());
+}
+
+TEST(MapReduce, DeterministicReduceOrderAcrossRuns) {
+  using mapreduce::KeyValue;
+  std::vector<KeyValue> input;
+  for (std::uint64_t i = 0; i < 100; ++i) input.push_back({i % 7, i});
+  auto run = [&] {
+    mapreduce::Simulator sim(mapreduce::Config{});
+    return sim.round(
+        input,
+        [](const std::vector<KeyValue>& shard, std::vector<KeyValue>& emit) {
+          for (const KeyValue& kv : shard) emit.push_back(kv);
+        },
+        [](std::uint64_t key, const std::vector<std::uint64_t>& values,
+           std::vector<KeyValue>& emit) {
+          std::uint64_t sum = 0;
+          for (std::uint64_t v : values) sum += v;
+          emit.push_back({key, sum});
+        });
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace dp

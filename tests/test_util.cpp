@@ -1,0 +1,217 @@
+// Tests for the util substrate: RNG, hashing, accounting, math helpers and
+// the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "util/accounting.hpp"
+#include "util/hash.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dp {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() != c.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformBoundRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> bucket(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    ++bucket[rng.uniform(10)];
+  }
+  for (int count : bucket) {
+    EXPECT_NEAR(count, trials / 10, trials / 50);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, CoinFlipsGeometric) {
+  Rng rng(5);
+  std::vector<int> counts(4, 0);
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const int flips = rng.coin_flips_until_tail();
+    if (flips < 4) ++counts[flips];
+  }
+  // P(flips = k) = 2^-(k+1).
+  EXPECT_NEAR(counts[0], trials / 2, trials / 25);
+  EXPECT_NEAR(counts[1], trials / 4, trials / 25);
+  EXPECT_NEAR(counts[2], trials / 8, trials / 25);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(9);
+  for (std::size_t k : {1u, 5u, 50u, 99u}) {
+    const auto sample = rng.sample_without_replacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t x : sample) EXPECT_LT(x, 100u);
+  }
+  EXPECT_EQ(rng.sample_without_replacement(10, 20).size(), 10u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_NE(child1.next(), child2.next());
+}
+
+TEST(KWiseHash, DeterministicAndBounded) {
+  Rng rng(1);
+  const KWiseHash h(4, rng);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(h(x), h(x));
+    EXPECT_LT(h(x), MersenneField::kPrime);
+    EXPECT_LT(h.bounded(x, 50), 50u);
+    EXPECT_GE(h.real(x), 0.0);
+    EXPECT_LT(h.real(x), 1.0);
+  }
+}
+
+TEST(KWiseHash, DifferentInstancesDiffer) {
+  Rng rng(2);
+  const KWiseHash h1(4, rng);
+  const KWiseHash h2(4, rng);
+  int collisions = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    if (h1(x) == h2(x)) ++collisions;
+  }
+  EXPECT_LT(collisions, 3);
+}
+
+TEST(MersenneField, MulMatchesBigInt) {
+  // (2^40)(2^30) mod (2^61-1) = 2^70 mod p = 2^9 * (2^61 mod p) = 2^9.
+  EXPECT_EQ(MersenneField::mul(1ULL << 40, 1ULL << 30), 1ULL << 9);
+  EXPECT_EQ(MersenneField::add(MersenneField::kPrime - 1, 1), 0u);
+}
+
+TEST(TabulationHash, Deterministic) {
+  Rng rng(3);
+  const TabulationHash h(rng);
+  EXPECT_EQ(h(12345), h(12345));
+  EXPECT_NE(h(12345), h(12346));  // overwhelmingly likely
+}
+
+TEST(EdgeKey, Symmetric) {
+  EXPECT_EQ(edge_key(3, 7), edge_key(7, 3));
+  EXPECT_NE(edge_key(3, 7), edge_key(3, 8));
+}
+
+TEST(ResourceMeter, CountsAndPeak) {
+  ResourceMeter m;
+  m.add_round();
+  m.add_round(2);
+  m.add_pass();
+  m.store_edges(100);
+  m.release_edges(40);
+  m.store_edges(10);
+  EXPECT_EQ(m.rounds(), 3u);
+  EXPECT_EQ(m.passes(), 1u);
+  EXPECT_EQ(m.stored_edges(), 70u);
+  EXPECT_EQ(m.peak_edges(), 100u);
+  m.add_sketch_words(5);
+  m.add_messages(7);
+  m.add_inner_iterations(2);
+  m.add_oracle_calls(3);
+  EXPECT_EQ(m.sketch_words(), 5u);
+  EXPECT_EQ(m.messages(), 7u);
+  EXPECT_EQ(m.inner_iterations(), 2u);
+  EXPECT_EQ(m.oracle_calls(), 3u);
+  EXPECT_FALSE(m.summary().empty());
+}
+
+TEST(ResourceMeter, MergeTakesMaxPeak) {
+  ResourceMeter a, b;
+  a.store_edges(10);
+  b.store_edges(100);
+  b.release_edges(100);
+  a.merge(b);
+  EXPECT_EQ(a.peak_edges(), 100u);
+  EXPECT_EQ(a.stored_edges(), 10u);
+}
+
+TEST(WeightClasses, LevelRoundTrip) {
+  const WeightClasses wc(0.5, 1.0);
+  EXPECT_EQ(wc.level_of(1.0), 0);
+  EXPECT_EQ(wc.level_of(1.5), 1);
+  EXPECT_EQ(wc.level_of(2.25), 2);
+  EXPECT_EQ(wc.level_of(2.24), 1);
+  EXPECT_NEAR(wc.weight_of(3), 3.375, 1e-12);
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(wc.level_of(wc.weight_of(k)), k) << k;
+  }
+}
+
+TEST(MathHelpers, LogLogSlope) {
+  // y = x^2 exactly.
+  std::vector<double> x{10, 100, 1000}, y{100, 10000, 1000000};
+  EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(MathHelpers, MeanStd) {
+  std::vector<double> v{1, 2, 3, 4};
+  EXPECT_NEAR(mean(v), 2.5, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter] { counter++; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, EmptyRangeNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace dp
