@@ -1,91 +1,161 @@
-// Micro-benchmarks (google-benchmark) for the hot substrate kernels:
-// greedy matching, local search, strength estimation, sparsifier
-// construction, l0-sampler updates, and union-find. These support the E5
-// runtime claims with per-kernel numbers.
+// Micro-benchmark for the solver's hot path: MicroOracle iteration
+// throughput, flat-array path (core/oracle.cpp) vs the retained map-based
+// reference (core/oracle_ref.cpp), measured in the same binary on identical
+// inputs. Also times the supporting kernels the oracle leans on
+// (DualState::blend + lambda sweep).
+//
+//   ./bench_micro [--quick]
+//
+// Emits the usual CSV rows plus BENCH_micro.json. The headline number is
+// the flat/map speedup of micro-oracle calls/sec at n = 10^4 (quick mode
+// shrinks n and the rep counts so scripts/check.sh stays fast).
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "core/dual_state.hpp"
+#include "core/oracle.hpp"
+#include "core/oracle_ref.hpp"
 #include "graph/generators.hpp"
-#include "graph/union_find.hpp"
-#include "matching/approx.hpp"
-#include "matching/greedy.hpp"
-#include "sketch/l0sampler.hpp"
-#include "sparsify/cut_sparsifier.hpp"
-#include "sparsify/strength.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
-void BM_GreedyMatching(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  dp::Graph g = dp::gen::gnm(n, 8 * n, 1);
-  dp::gen::weight_uniform(g, 1.0, 10.0, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::greedy_matching(g));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(g.num_edges()));
-}
-BENCHMARK(BM_GreedyMatching)->Arg(1000)->Arg(4000);
+using namespace dp;
+using namespace dp::core;
 
-void BM_LocalSearchMatching(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  dp::Graph g = dp::gen::gnm(n, 8 * n, 3);
-  dp::gen::weight_uniform(g, 1.0, 10.0, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::local_search_matching(g, 8, 5));
-  }
-}
-BENCHMARK(BM_LocalSearchMatching)->Arg(1000)->Arg(4000);
+/// One frozen oracle workload: a level graph plus stored multipliers, zeta
+/// and beta resembling one inner MW iteration of the solver.
+struct Workload {
+  std::unique_ptr<Graph> g;
+  Capacities b;
+  std::unique_ptr<LevelGraph> lg;
+  std::vector<StoredMultiplier> us;
+  ZetaMap zeta;
+  double beta = 0;
+};
 
-void BM_StrengthEstimation(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const dp::Graph g = dp::gen::gnm(n, 8 * n, 6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        dp::estimate_strengths(n, g.edges(), 7));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(g.num_edges()));
-}
-BENCHMARK(BM_StrengthEstimation)->Arg(1000)->Arg(4000);
+Workload make_workload(std::size_t n, std::uint64_t seed) {
+  Workload w;
+  w.g = std::make_unique<Graph>(gen::gnm(n, 8 * n, seed));
+  gen::weight_uniform(*w.g, 1.0, 16.0, seed + 1);
+  w.b = Capacities::unit(n);
+  w.lg = std::make_unique<LevelGraph>(*w.g, w.b, 0.15);
 
-void BM_CutSparsify(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const dp::Graph g = dp::gen::gnm(n, 8 * n, 8);
-  dp::SparsifierOptions opt;
-  opt.xi = 0.2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::cut_sparsify(g, opt, 9));
+  Rng rng(seed + 2);
+  const auto levels = static_cast<std::uint64_t>(w.lg->num_levels());
+  // Stored sample: ~n edges, multipliers in a realistic dynamic range.
+  std::vector<std::uint64_t> row_keys;
+  for (EdgeId e : w.lg->retained()) {
+    if (rng.uniform_real() * static_cast<double>(w.g->num_edges()) >
+        static_cast<double>(n)) {
+      continue;
+    }
+    w.us.push_back(StoredMultiplier{e, 0.1 + 2.0 * rng.uniform_real()});
+    const Edge& edge = w.g->edge(e);
+    const auto k = static_cast<std::uint64_t>(w.lg->level(e));
+    row_keys.push_back(static_cast<std::uint64_t>(edge.u) * levels + k);
+    row_keys.push_back(static_cast<std::uint64_t>(edge.v) * levels + k);
   }
+  std::sort(row_keys.begin(), row_keys.end());
+  row_keys.erase(std::unique(row_keys.begin(), row_keys.end()),
+                 row_keys.end());
+  for (const std::uint64_t kk : row_keys) {
+    const int k = static_cast<int>(kk % levels);
+    w.zeta.append(kk, (0.05 + 0.3 * rng.uniform_real()) /
+                          (3.0 * w.lg->level_weight(k)));
+  }
+  w.beta = static_cast<double>(n) / 4.0;
+  return w;
 }
-BENCHMARK(BM_CutSparsify)->Arg(1000)->Arg(4000);
 
-void BM_L0SamplerUpdate(benchmark::State& state) {
-  dp::Rng rng(10);
-  const dp::L0SamplerSeed seed(24, 8, rng);
-  dp::L0Sampler sampler(seed);
-  std::uint64_t i = 0;
-  for (auto _ : state) {
-    sampler.update(i++ % (1 << 20), 1);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_L0SamplerUpdate);
+struct Measurement {
+  double seconds = 0;
+  std::size_t micro_calls = 0;
+};
 
-void BM_UnionFind(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const dp::Graph g = dp::gen::gnm(n, 8 * n, 11);
-  for (auto _ : state) {
-    dp::UnionFind uf(n);
-    for (const dp::Edge& e : g.edges()) uf.unite(e.u, e.v);
-    benchmark::DoNotOptimize(uf.num_components());
+template <typename Oracle>
+Measurement time_lagrangian(const Oracle& oracle, const Workload& w,
+                            std::size_t reps) {
+  Measurement m;
+  WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r) {
+    oracle.run_lagrangian(w.us, w.zeta, w.beta, &m.micro_calls);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(g.num_edges()));
+  m.seconds = timer.seconds();
+  return m;
 }
-BENCHMARK(BM_UnionFind)->Arg(10000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) quick = true;
+  }
+
+  bench::header("micro (oracle hot path)",
+                "MicroOracle calls/sec: flat level-indexed buffers vs the "
+                "map-based reference, same binary, same inputs; speedup is "
+                "flat/map");
+  bench::BenchReport report(
+      "micro", {"n", "m", "odd_sets", "reps", "map_calls_per_sec",
+                "flat_calls_per_sec", "speedup", "map_seconds",
+                "flat_seconds"});
+
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{2000}
+            : std::vector<std::size_t>{1000, 10000};
+  std::printf("%-8s %-8s %-9s %14s %14s %9s\n", "n", "m", "odd_sets",
+              "map calls/s", "flat calls/s", "speedup");
+
+  for (const std::size_t n : sizes) {
+    const Workload w = make_workload(n, /*seed=*/17);
+    for (const bool odd_sets : {false, true}) {
+      OracleConfig config;
+      config.use_odd_sets = odd_sets;
+      config.odd.eps = 0.15;
+      std::size_t reps = quick ? 3 : (n >= 10000 ? 5 : 20);
+      if (odd_sets) reps = quick ? 1 : 2;  // Gomory-Hu dominates; fewer reps
+
+      const MicroOracle flat(*w.lg, w.b, config);
+      const ref::MicroOracleRef mapped(*w.lg, w.b, config);
+
+      // Sanity: both paths must agree on the workload before timing it.
+      {
+        const MicroResult a = flat.run_lagrangian(w.us, w.zeta, w.beta);
+        const MicroResult c = mapped.run_lagrangian(w.us, w.zeta, w.beta);
+        if (a.kind != c.kind) {
+          std::fprintf(stderr,
+                       "FATAL: flat/map disagree on kind at n=%zu odd=%d\n",
+                       n, static_cast<int>(odd_sets));
+          return 1;
+        }
+      }
+
+      const Measurement map_m = time_lagrangian(mapped, w, reps);
+      const Measurement flat_m = time_lagrangian(flat, w, reps);
+      const double map_rate =
+          static_cast<double>(map_m.micro_calls) / map_m.seconds;
+      const double flat_rate =
+          static_cast<double>(flat_m.micro_calls) / flat_m.seconds;
+      const double speedup = flat_rate / map_rate;
+      std::printf("%-8zu %-8zu %-9d %14.1f %14.1f %8.2fx\n", n,
+                  w.g->num_edges(), static_cast<int>(odd_sets), map_rate,
+                  flat_rate, speedup);
+      report.add({static_cast<double>(n),
+                  static_cast<double>(w.g->num_edges()),
+                  static_cast<double>(odd_sets),
+                  static_cast<double>(reps), map_rate, flat_rate, speedup,
+                  map_m.seconds, flat_m.seconds});
+    }
+  }
+  report.flush();
+  return 0;
+}

@@ -16,7 +16,8 @@ int main() {
                 "growth in m");
 
   std::printf("%-10s %-10s %12s %12s\n", "n", "m", "seconds", "ratio");
-  bench::row_labels({"n", "m", "seconds", "certified_ratio"});
+  bench::BenchReport report("runtime",
+                            {"n", "m", "seconds", "certified_ratio"});
   std::vector<double> ms, secs;
   const std::size_t n = 600;
   for (std::size_t m : {3000, 6000, 12000, 24000}) {
@@ -33,7 +34,7 @@ int main() {
     const double sec = timer.seconds();
     std::printf("%-10zu %-10zu %12.3f %12.4f\n", n, m, sec,
                 result.certified_ratio);
-    bench::row({static_cast<double>(n), static_cast<double>(m), sec,
+    report.add({static_cast<double>(n), static_cast<double>(m), sec,
                 result.certified_ratio});
     ms.push_back(static_cast<double>(m));
     secs.push_back(sec);

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus the hot-path micro benchmark.
+#
+# Configures with DP_WERROR=ON so any -Wall -Wextra warning in src/core is a
+# build failure, runs the full test suite through ctest, then runs
+# bench_micro --quick (which also sanity-checks flat-vs-map agreement and
+# refreshes BENCH_micro.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . -DDP_WERROR=ON
+cmake --build "$BUILD_DIR" -j"$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
+"./$BUILD_DIR/bench_micro" --quick
+echo "check.sh: OK"

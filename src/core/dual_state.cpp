@@ -22,11 +22,8 @@ std::uint64_t set_key(const OddSetVar& var) {
 }  // namespace
 
 DualState::DualState(std::size_t n, int num_levels)
-    : n_(n), levels_(num_levels), xi_(n, 0.0), sets_at_(n) {}
-
-double DualState::x(Vertex i, int k) const noexcept {
-  const auto it = xik_.find(static_cast<std::uint64_t>(i) * levels_ + k);
-  return it == xik_.end() ? 0.0 : it->second * scale_;
+    : n_(n), levels_(num_levels), xi_(n, 0.0), sets_at_(n) {
+  xik_.reset(n * static_cast<std::size_t>(num_levels));
 }
 
 double DualState::cover_row(Vertex i, Vertex j, int k) const {
@@ -82,8 +79,10 @@ void DualState::add_odd_set(const OddSetVar& var, double factor) {
   const double raw = var.value * factor / scale_;
   if (raw <= 0) return;
   const std::uint64_t key = set_key(var);
-  const auto it = set_index_.find(key);
-  if (it != set_index_.end()) {
+  const auto it = std::lower_bound(
+      set_index_.begin(), set_index_.end(), key,
+      [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+  if (it != set_index_.end() && it->first == key) {
     OddSetVar& existing = sets_[it->second];
     if (existing.level == var.level && existing.members == var.members) {
       existing.value += raw;
@@ -95,29 +94,39 @@ void DualState::add_odd_set(const OddSetVar& var, double factor) {
   const auto id = static_cast<std::uint32_t>(sets_.size());
   sets_.push_back(OddSetVar{var.level, var.members, raw});
   for (Vertex v : var.members) sets_at_[v].push_back(id);
-  set_index_.emplace(key, id);
+  if (it == set_index_.end() || it->first != key) {
+    set_index_.insert(it, {key, id});
+  }
 }
 
 void DualState::blend(const DualPoint& p, double sigma) {
   scale_ *= (1.0 - sigma);
   if (scale_ < 1e-280) {
     // Re-normalize to avoid underflow: fold the scale into the raw values.
-    for (auto& [key, value] : xik_) value *= scale_;
+    xik_.scale_all(scale_);
     for (double& value : xi_) value *= scale_;
     for (OddSetVar& var : sets_) var.value *= scale_;
     scale_ = 1.0;
   }
-  // x_i(k) and the per-vertex maxima of the incoming point.
-  std::vector<double> point_xi(n_, 0.0);
+  // x_i(k), and per-vertex maxima over the runs of the (key-sorted) point.
+  // Entries of one vertex are contiguous, so the point's x_i needs no
+  // n-sized scratch: track the running max and flush on vertex change.
+  const auto levels = static_cast<std::uint64_t>(levels_);
+  std::uint64_t run_vertex = 0;
+  double run_max = 0.0;
+  auto flush = [&] {
+    if (run_max > 0) xi_[run_vertex] += sigma * run_max / scale_;
+    run_max = 0.0;
+  };
   for (const auto& [key, value] : p.xik) {
     if (value <= 0) continue;
-    xik_[key] += sigma * value / scale_;
-    const auto i = static_cast<std::size_t>(key / levels_);
-    point_xi[i] = std::max(point_xi[i], value);
+    const std::uint64_t i = key / levels;
+    if (run_max > 0 && i != run_vertex) flush();
+    run_vertex = i;
+    run_max = std::max(run_max, value);
+    xik_.add(key, sigma * value / scale_);
   }
-  for (std::size_t i = 0; i < n_; ++i) {
-    if (point_xi[i] > 0) xi_[i] += sigma * point_xi[i] / scale_;
-  }
+  flush();
   for (const OddSetVar& var : p.odd_sets) add_odd_set(var, sigma);
 }
 

@@ -13,9 +13,9 @@
 //   sum_i b_i x_i + sum_{U,l} floor(||U||_b / 2) z_{U,l}.
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_duals.hpp"
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
 
@@ -31,8 +31,9 @@ struct OddSetVar {
 
 /// A sparse dual point as produced by one MicroOracle call (unscaled).
 struct DualPoint {
-  /// (i, k) -> x_i(k); keys are i * num_levels + k.
-  std::unordered_map<std::uint64_t, double> xik;
+  /// (i, k) -> x_i(k); keys are i * num_levels + k, sorted ascending (so
+  /// entries are grouped by vertex with levels ascending inside a group).
+  SparseDuals xik;
   std::vector<OddSetVar> odd_sets;
 };
 
@@ -43,8 +44,10 @@ class DualState {
   std::size_t num_vertices() const noexcept { return n_; }
   int num_levels() const noexcept { return levels_; }
 
-  /// Effective x_i(k).
-  double x(Vertex i, int k) const noexcept;
+  /// Effective x_i(k). O(1) read of the dense buffer.
+  double x(Vertex i, int k) const noexcept {
+    return xik_.get(static_cast<std::uint64_t>(i) * levels_ + k) * scale_;
+  }
 
   /// Effective x_i = max_k x_i(k).
   double x_max(Vertex i) const noexcept { return xi_[i] * scale_; }
@@ -83,11 +86,12 @@ class DualState {
   std::size_t n_;
   int levels_;
   double scale_ = 1.0;
-  std::unordered_map<std::uint64_t, double> xik_;  // raw
-  std::vector<double> xi_;                         // raw max per vertex
-  std::vector<OddSetVar> sets_;                    // raw values
+  FlatDuals xik_;           // raw, dense n*L with active-key list
+  std::vector<double> xi_;  // raw max per vertex
+  std::vector<OddSetVar> sets_;                      // raw values
   std::vector<std::vector<std::uint32_t>> sets_at_;  // vertex -> set ids
-  std::unordered_map<std::uint64_t, std::uint32_t> set_index_;  // dedup key
+  /// Dedup index: (content hash, set id), sorted by hash.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> set_index_;
 };
 
 }  // namespace dp::core

@@ -112,12 +112,14 @@ InitialSolution build_initial(const LevelGraph& lg, const Capacities& b,
   out.coverage = r;
   const int levels = lg.num_levels();
   std::vector<double> xi(n, 0.0);
-  for (int k = 0; k < levels; ++k) {
-    if (lg.edges_at_level(k).empty()) continue;
-    for (std::size_t v = 0; v < n; ++v) {
+  // Vertex-major iteration emits keys in strictly increasing order, so the
+  // sparse point is built with O(1) appends.
+  for (std::size_t v = 0; v < n; ++v) {
+    for (int k = 0; k < levels; ++k) {
+      if (lg.edges_at_level(k).empty()) continue;
       if (residual[k][v] == 0) {
         const double value = r * lg.level_weight(k);
-        out.x0.xik[static_cast<std::uint64_t>(v) * levels + k] = value;
+        out.x0.xik.append(static_cast<std::uint64_t>(v) * levels + k, value);
         xi[v] = std::max(xi[v], value);
       }
     }

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <unordered_map>
 
 #include "graph/gomory_hu.hpp"
 #include "graph/union_find.hpp"
@@ -51,11 +49,12 @@ std::vector<std::vector<Vertex>> gomory_hu_odd_sets(
     const std::vector<double>& q_hat, const Capacities& b,
     std::int64_t kappa, double unit, std::int64_t max_b) {
   const std::size_t na = active.size();
-  std::unordered_map<Vertex, std::uint32_t> local;
-  local.reserve(na * 2);
-  for (std::size_t i = 0; i < na; ++i) {
-    local.emplace(active[i], static_cast<std::uint32_t>(i));
-  }
+  // `active` is sorted, so the global->local remap is a binary search
+  // instead of a hash map.
+  const auto local = [&active](Vertex v) {
+    return static_cast<std::uint32_t>(
+        std::lower_bound(active.begin(), active.end(), v) - active.begin());
+  };
   const auto s = static_cast<std::uint32_t>(na);  // special node
 
   std::vector<Edge> h_edges;
@@ -64,8 +63,8 @@ std::vector<std::vector<Vertex>> gomory_hu_odd_sets(
   for (const auto& qe : q) {
     const auto cap = static_cast<std::int64_t>(std::floor(qe.q * unit));
     if (cap <= 0) continue;
-    const std::uint32_t lu = local.at(qe.u);
-    const std::uint32_t lv = local.at(qe.v);
+    const std::uint32_t lu = local(qe.u);
+    const std::uint32_t lv = local(qe.v);
     h_edges.push_back(Edge{lu, lv, 1.0});
     caps.push_back(cap);
     incident[lu] += cap;
@@ -130,19 +129,28 @@ std::vector<std::vector<Vertex>> heuristic_odd_sets(
       uf.unite(qe.u, qe.v);
     }
   }
-  std::map<std::uint32_t, std::vector<Vertex>> comps;
+  // Component roots touched by query edges, in sorted order (the same
+  // deterministic order the std::map-based version iterated in).
+  std::vector<std::uint32_t> roots;
+  roots.reserve(2 * q.size());
   for (const auto& qe : q) {
-    comps[uf.find(qe.u)];
-    comps[uf.find(qe.v)];
+    roots.push_back(uf.find(qe.u));
+    roots.push_back(uf.find(qe.v));
   }
-  for (auto& [root, members] : comps) members.clear();
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  std::vector<std::vector<Vertex>> comps(roots.size());
   for (std::size_t v = 0; v < n; ++v) {
-    const auto it = comps.find(uf.find(static_cast<std::uint32_t>(v)));
-    if (it != comps.end()) it->second.push_back(static_cast<Vertex>(v));
+    const std::uint32_t r = uf.find(static_cast<std::uint32_t>(v));
+    const auto it = std::lower_bound(roots.begin(), roots.end(), r);
+    if (it != roots.end() && *it == r) {
+      comps[static_cast<std::size_t>(it - roots.begin())].push_back(
+          static_cast<Vertex>(v));
+    }
   }
 
   std::vector<std::pair<double, std::vector<Vertex>>> candidates;
-  for (auto& [root, members] : comps) {
+  for (auto& members : comps) {
     if (members.size() < 3) continue;
     std::vector<Vertex> set = members;
     std::sort(set.begin(), set.end());

@@ -7,28 +7,126 @@ namespace dp::core {
 
 namespace {
 
-double lookup(const ZetaMap& zeta, std::uint64_t key) {
-  const auto it = zeta.find(key);
-  return it == zeta.end() ? 0.0 : it->second;
-}
-
-/// Sum of wHat_l for l in [lo, hi] (geometric series of (1+eps)^l).
-double level_weight_range(const LevelGraph& lg, int lo, int hi) {
-  double s = 0;
-  for (int l = lo; l <= hi; ++l) s += lg.level_weight(l);
-  return s;
+/// Run fn(chunk, lo, hi) over fixed-grain chunks of [begin, end), inline
+/// when no pool is available or the range is a single chunk. Chunk
+/// boundaries depend only on `grain`, so serial and parallel execution
+/// produce identical chunk decompositions (and therefore identical
+/// chunk-ordered reductions).
+template <typename Fn>
+void run_chunks(ThreadPool* pool, std::size_t begin, std::size_t end,
+                std::size_t grain, const Fn& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || end - begin <= grain) {
+    const std::size_t chunks = (end - begin + grain - 1) / grain;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  pool->parallel_chunks(begin, end, grain,
+                        [&fn](std::size_t c, std::size_t lo, std::size_t hi) {
+                          fn(c, lo, hi);
+                        });
 }
 
 }  // namespace
 
+/// Reusable flat scratch for one oracle instance. Dense buffers are sized
+/// n*L once and cleared in O(touched) between invocations; vectors keep
+/// their capacity across calls so the steady state allocates nothing.
+struct MicroOracle::Scratch {
+  /// (key, us) per stored-edge endpoint, then grouped by vertex via a
+  /// stable counting sort — the cache-resident replacement for the dense
+  /// sum_us buffer (the count/offset arrays are n-sized, not n*L).
+  std::vector<std::pair<std::uint64_t, double>> pairs;
+  std::vector<std::pair<std::uint64_t, double>> grouped;
+  std::vector<std::size_t> voff;
+  std::vector<std::uint64_t> sum_keys;  // key-sorted distinct (i,k) rows
+  std::vector<double> sum_vals;         // summed us per row
+  std::vector<std::uint64_t> pos_keys;  // sorted keys with A_i(k) > 0
+  std::vector<double> pos_a;            // A_i(k) per pos entry
+  std::vector<double> pos_sum;          // sum_us per pos entry (Step 9)
+  std::vector<double> pref;             // in-run exclusive prefix of w*A
+  std::vector<double> suf;              // in-run inclusive suffix of A
+  std::vector<double> run_pref_total;   // full w*A sum per run
+  std::vector<std::size_t> run_start;   // run r = [run_start[r], run_start[r+1])
+  struct Viol {
+    int kstar = -1;
+    double delta = 0.0;
+  };
+  std::vector<Viol> viol;       // per-run violation slot
+  std::vector<char> has_level;  // level -> holds stored edges
+  /// Step 9 sparse zbar: raised rows, the merged overlay, and the overlay
+  /// re-bucketed by level descending for the suffix cursor.
+  std::vector<std::pair<std::uint64_t, double>> repl;
+  std::vector<std::pair<std::uint64_t, double>> zpairs;
+  std::vector<std::pair<std::uint64_t, double>> zlevel;
+  std::vector<double> zsuffix;  // vertex -> sum zbar_{v,k>=l} (current l)
+  std::vector<double> qhat;           // per-vertex q_hat for separation
+  std::vector<std::int32_t> set_of;   // vertex -> candidate id at this level
+  std::vector<double> set_delta;      // per-candidate us mass
+  std::vector<double> partials;       // per-item results for reductions
+
+  void ensure(std::size_t n, int levels) {
+    if (zsuffix.size() < n) {
+      zsuffix.resize(n, 0.0);
+      qhat.resize(n, 0.0);
+      set_of.assign(n, -1);
+      voff.resize(n + 1, 0);
+    }
+    if (has_level.size() < static_cast<std::size_t>(levels)) {
+      has_level.resize(static_cast<std::size_t>(levels), 0);
+    }
+  }
+};
+
+MicroOracle::MicroOracle(const LevelGraph& lg, const Capacities& b,
+                         OracleConfig config)
+    : lg_(&lg), b_(&b), config_(std::move(config)) {}
+
+MicroOracle::~MicroOracle() = default;
+MicroOracle::MicroOracle(MicroOracle&&) noexcept = default;
+MicroOracle& MicroOracle::operator=(MicroOracle&&) noexcept = default;
+
+MicroOracle::Scratch& MicroOracle::scratch() const {
+  if (!scratch_) scratch_ = std::make_unique<Scratch>();
+  scratch_->ensure(lg_->graph().num_vertices(), lg_->num_levels());
+  return *scratch_;
+}
+
+ThreadPool* MicroOracle::pool() const {
+  if (config_.threads == 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(config_.threads);
+  return pool_.get();
+}
+
 DualPoint combine_points(const DualPoint& a, double s1, const DualPoint& b,
                          double s2) {
   DualPoint out;
-  for (const auto& [key, value] : a.xik) {
-    if (value > 0) out.xik[key] += s1 * value;
-  }
-  for (const auto& [key, value] : b.xik) {
-    if (value > 0) out.xik[key] += s2 * value;
+  out.xik.reserve(a.xik.size() + b.xik.size());
+  // Merge-join on the sorted keys; an entry exists in the output whenever
+  // either input carries positive mass at that key (matching the map-era
+  // semantics, including explicit zeros when a scale factor is 0).
+  auto ia = a.xik.begin();
+  auto ib = b.xik.begin();
+  while (ia != a.xik.end() || ib != b.xik.end()) {
+    if (ib == b.xik.end() || (ia != a.xik.end() && ia->first < ib->first)) {
+      if (ia->second > 0) out.xik.append(ia->first, s1 * ia->second);
+      ++ia;
+    } else if (ia == a.xik.end() || ib->first < ia->first) {
+      if (ib->second > 0) out.xik.append(ib->first, s2 * ib->second);
+      ++ib;
+    } else {
+      const double va = ia->second > 0 ? s1 * ia->second : 0.0;
+      const double vb = ib->second > 0 ? s2 * ib->second : 0.0;
+      if (ia->second > 0 || ib->second > 0) {
+        out.xik.append(ia->first, va + vb);
+      }
+      ++ia;
+      ++ib;
+    }
   }
   for (const OddSetVar& var : a.odd_sets) {
     if (var.value > 0) {
@@ -46,37 +144,52 @@ DualPoint combine_points(const DualPoint& a, double s1, const DualPoint& b,
 }
 
 double MicroOracle::weighted_po(const DualPoint& x, const ZetaMap& zeta) const {
-  const int L = lg_->num_levels();
+  const auto L = static_cast<std::uint64_t>(lg_->num_levels());
   double total = 0;
-  // 2 x_i(k) terms.
-  for (const auto& [key, zeta_val] : zeta) {
-    const auto it = x.xik.find(key);
-    if (it != x.xik.end()) total += zeta_val * 2.0 * it->second;
+  // 2 x_i(k) terms: merge-join of the two sorted supports.
+  {
+    auto xit = x.xik.begin();
+    for (const auto& [key, zeta_val] : zeta) {
+      while (xit != x.xik.end() && xit->first < key) ++xit;
+      if (xit == x.xik.end()) break;
+      if (xit->first == key) total += zeta_val * 2.0 * xit->second;
+    }
   }
   // Odd-set terms: z_{U,l} enters row (i,k) for every i in U and k >= l.
+  // Parallel over variables with per-variable partials, reduced in variable
+  // order so the sum is independent of the thread count.
   if (!x.odd_sets.empty()) {
-    // Index zeta by vertex for the membership sweep.
-    std::unordered_map<Vertex, std::vector<std::pair<int, double>>> by_vertex;
-    for (const auto& [key, zeta_val] : zeta) {
-      const auto i = static_cast<Vertex>(key / L);
-      const int k = static_cast<int>(key % L);
-      by_vertex[i].emplace_back(k, zeta_val);
-    }
-    for (const OddSetVar& var : x.odd_sets) {
-      for (Vertex v : var.members) {
-        const auto it = by_vertex.find(v);
-        if (it == by_vertex.end()) continue;
-        for (const auto& [k, zeta_val] : it->second) {
-          if (k >= var.level) total += zeta_val * var.value;
-        }
-      }
-    }
+    Scratch& s = scratch();
+    const std::size_t nvars = x.odd_sets.size();
+    s.partials.assign(nvars, 0.0);
+    std::size_t members_total = 0;
+    for (const OddSetVar& var : x.odd_sets) members_total += var.members.size();
+    const std::size_t grain = std::max<std::size_t>(
+        1, config_.parallel_grain / (1 + members_total / nvars));
+    run_chunks(pool(), 0, nvars, grain,
+               [&](std::size_t, std::size_t lo, std::size_t hi) {
+                 for (std::size_t v = lo; v < hi; ++v) {
+                   const OddSetVar& var = x.odd_sets[v];
+                   double t = 0;
+                   for (Vertex member : var.members) {
+                     const std::uint64_t base =
+                         static_cast<std::uint64_t>(member) * L;
+                     for (auto it = zeta.first_at_least(
+                              base + static_cast<std::uint64_t>(var.level));
+                          it != zeta.end() && it->first < base + L; ++it) {
+                       t += it->second * var.value;
+                     }
+                   }
+                   s.partials[v] = t;
+                 }
+               });
+    for (std::size_t v = 0; v < nvars; ++v) total += s.partials[v];
   }
   return total;
 }
 
 double MicroOracle::weighted_qo(const ZetaMap& zeta) const {
-  const int L = lg_->num_levels();
+  const auto L = static_cast<std::uint64_t>(lg_->num_levels());
   double total = 0;
   for (const auto& [key, zeta_val] : zeta) {
     const int k = static_cast<int>(key % L);
@@ -91,103 +204,244 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
   const LevelGraph& lg = *lg_;
   const Capacities& b = *b_;
   const int L = lg.num_levels();
+  const auto Lu = static_cast<std::uint64_t>(L);
   const double eps = lg.eps();
-  auto key = [L](Vertex i, int k) {
-    return static_cast<std::uint64_t>(i) * L + k;
+  Scratch& s = scratch();
+  auto key = [Lu](Vertex i, int k) {
+    return static_cast<std::uint64_t>(i) * Lu + static_cast<std::uint64_t>(k);
   };
 
   MicroResult result;
 
   // ---- gamma and per-(i,k) us sums (Step 1). ----
-  ZetaMap sum_us;
+  // Rows are grouped by vertex with a stable counting sort over packed
+  // (i, k) keys instead of a hash map: the count/offset arrays are n-sized
+  // (cache resident), the per-vertex groups are tiny, and the stable order
+  // keeps every per-row sum bitwise identical to the map path's insertion
+  // order.
+  const std::size_t n = lg.graph().num_vertices();
+  s.pairs.clear();
   double gamma = 0;
   for (const StoredMultiplier& sm : us) {
     const Edge& e = lg.graph().edge(sm.edge);
     const int k = lg.level(sm.edge);
     if (k < 0 || sm.us <= 0) continue;
-    sum_us[key(e.u, k)] += sm.us;
-    sum_us[key(e.v, k)] += sm.us;
+    s.pairs.emplace_back(key(e.u, k), sm.us);
+    s.pairs.emplace_back(key(e.v, k), sm.us);
     gamma += lg.level_weight(k) * sm.us;
   }
   for (const auto& [kk, z] : zeta) {
-    const int k = static_cast<int>(kk % L);
+    const int k = static_cast<int>(kk % Lu);
     gamma -= 3.0 * rho * lg.level_weight(k) * z;
   }
   result.gamma = gamma;
   if (gamma <= 0) return result;  // x = 0 satisfies LagInner trivially
 
-  // ---- Pos(i) and A_i(k) = sum_us - 2 rho zeta (Step 2). ----
-  std::unordered_map<Vertex, std::vector<std::pair<int, double>>> pos;
-  for (const auto& [kk, s] : sum_us) {
-    const auto i = static_cast<Vertex>(kk / L);
-    const int k = static_cast<int>(kk % L);
-    const double a = s - 2.0 * rho * lookup(zeta, kk);
-    if (a > 0) pos[i].emplace_back(k, a);
-  }
-  for (auto& [i, vec] : pos) std::sort(vec.begin(), vec.end());
+  // Two stable counting passes (LSD radix on the packed key's digits:
+  // level first, vertex second) leave s.grouped key-sorted with duplicate
+  // keys in their original encounter order; folding them then reproduces
+  // the map path's per-row sums bitwise.
+  {
+    std::vector<std::size_t>& koff = s.run_start;  // borrowed until Step 3
+    koff.assign(static_cast<std::size_t>(L) + 1, 0);
+    for (const auto& [kk, u_val] : s.pairs) ++koff[kk % Lu + 1];
+    for (int k = 0; k < L; ++k) koff[k + 1] += koff[k];
+    s.grouped.resize(s.pairs.size());
+    for (const auto& p : s.pairs) s.grouped[koff[p.first % Lu]++] = p;
 
-  // ---- k*_i and Viol(V) (Steps 3-4). ----
-  struct Violation {
-    Vertex i;
-    int kstar;
-    double delta;
-  };
-  std::vector<Violation> violations;
-  double gamma_v = 0;
-  for (const auto& [i, vec] : pos) {
-    const std::size_t t_all = vec.size();
-    // prefW[t] = sum_{s < t} wHat_{k_s} A_s ; sufA[t] = sum_{s >= t} A_s.
-    std::vector<double> pref(t_all + 1, 0.0), suf(t_all + 1, 0.0);
-    for (std::size_t s = 0; s < t_all; ++s) {
-      pref[s + 1] = pref[s] + lg.level_weight(vec[s].first) * vec[s].second;
+    std::fill(s.voff.begin(), s.voff.begin() + static_cast<long>(n) + 1, 0);
+    for (const auto& [kk, u_val] : s.grouped) ++s.voff[kk / Lu + 1];
+    for (std::size_t v = 0; v < n; ++v) s.voff[v + 1] += s.voff[v];
+    s.pairs.resize(s.grouped.size());
+    for (const auto& p : s.grouped) s.pairs[s.voff[p.first / Lu]++] = p;
+  }
+  s.sum_keys.clear();
+  s.sum_vals.clear();
+  for (const auto& [kk, u_val] : s.pairs) {
+    if (!s.sum_keys.empty() && s.sum_keys.back() == kk) {
+      s.sum_vals.back() += u_val;
+    } else {
+      s.sum_keys.push_back(kk);
+      s.sum_vals.push_back(u_val);
     }
-    for (std::size_t s = t_all; s-- > 0;) {
-      suf[s] = suf[s + 1] + vec[s].second;
-    }
-    std::size_t t = t_all;  // count of pos levels <= current l
-    const double bi = static_cast<double>(b[i]);
-    for (int l = L - 1; l >= 0; --l) {
-      while (t > 0 && vec[t - 1].first > l) --t;
-      const double wl = lg.level_weight(l);
-      const double delta = pref[t] + wl * suf[t];
-      if (delta > gamma * bi * wl / beta) {
-        violations.push_back(Violation{i, l, delta});
-        gamma_v += delta;
-        break;  // largest such l
+  }
+
+  // ---- Pos(i) and A_i(k) = sum_us - 2 rho zeta (Step 2). ----
+  // Both supports are key-sorted: a single merge-join computes every A.
+  s.pos_keys.clear();
+  s.pos_a.clear();
+  s.pos_sum.clear();
+  {
+    auto zit = zeta.begin();
+    for (std::size_t row = 0; row < s.sum_keys.size(); ++row) {
+      const std::uint64_t kk = s.sum_keys[row];
+      while (zit != zeta.end() && zit->first < kk) ++zit;
+      const double zv =
+          (zit != zeta.end() && zit->first == kk) ? zit->second : 0.0;
+      const double a = s.sum_vals[row] - 2.0 * rho * zv;
+      if (a > 0) {
+        s.pos_keys.push_back(kk);
+        s.pos_a.push_back(a);
+        s.pos_sum.push_back(s.sum_vals[row]);
       }
     }
+  }
+
+  // Run boundaries: one run per vertex with positive rows.
+  const std::size_t P = s.pos_keys.size();
+  s.run_start.clear();
+  for (std::size_t j = 0; j < P; ++j) {
+    if (j == 0 || s.pos_keys[j] / Lu != s.pos_keys[j - 1] / Lu) {
+      s.run_start.push_back(j);
+    }
+  }
+  s.run_start.push_back(P);
+  const std::size_t R = s.run_start.empty() ? 0 : s.run_start.size() - 1;
+
+  // ---- k*_i and Viol(V) (Steps 3-4), parallel over vertex runs. ----
+  // The map path scans all L levels per vertex. Here: between two
+  // consecutive positive levels t is constant, and within such a segment
+  // the predicate delta(l) > gamma b_i wHat_l / beta is monotone in l
+  // (delta(l) = pref + wHat_l * suf vs a threshold linear in wHat_l), so
+  // each segment needs one probe at its bottom plus one binary search in
+  // the segment that hits — O(len + log L) per vertex instead of O(L).
+  // The probe evaluates the exact float expression of the map path, so
+  // recorded violations agree bit-for-bit away from one-ulp boundaries.
+  s.pref.resize(P);
+  s.suf.resize(P);
+  s.run_pref_total.resize(R);
+  s.viol.assign(R, Scratch::Viol{});
+  const std::size_t run_grain =
+      std::max<std::size_t>(1, config_.parallel_grain / 16);
+  run_chunks(
+      pool(), 0, R, run_grain,
+      [&](std::size_t, std::size_t rlo, std::size_t rhi) {
+        for (std::size_t r = rlo; r < rhi; ++r) {
+          const std::size_t lo = s.run_start[r];
+          const std::size_t hi = s.run_start[r + 1];
+          // prefW[t] = sum_{s<t} wHat_{k_s} A_s ; sufA[t] = sum_{s>=t} A_s.
+          double acc = 0;
+          for (std::size_t j = lo; j < hi; ++j) {
+            s.pref[j] = acc;
+            acc += lg.level_weight(
+                       static_cast<int>(s.pos_keys[j] % Lu)) * s.pos_a[j];
+          }
+          s.run_pref_total[r] = acc;
+          double sacc = 0;
+          for (std::size_t j = hi; j-- > lo;) {
+            sacc += s.pos_a[j];
+            s.suf[j] = sacc;
+          }
+          const auto i = static_cast<Vertex>(s.pos_keys[lo] / Lu);
+          const double bi = static_cast<double>(b[i]);
+          const std::size_t len = hi - lo;
+          auto level_at = [&](std::size_t t) {
+            return static_cast<int>(s.pos_keys[lo + t] % Lu);
+          };
+          auto delta_at = [&](std::size_t t, int l) {
+            const double wl = lg.level_weight(l);
+            const double pref_t =
+                t == len ? s.run_pref_total[r] : s.pref[lo + t];
+            const double suf_t = t == len ? 0.0 : s.suf[lo + t];
+            return pref_t + wl * suf_t;
+          };
+          auto violated = [&](std::size_t t, int l) {
+            return delta_at(t, l) > gamma * bi * lg.level_weight(l) / beta;
+          };
+          // Segment for t: l in [k_{t-1}, k_t - 1] (k_{-1} = 0, k_len = L).
+          for (std::size_t t = len + 1; t-- > 0;) {
+            const int seg_hi = t == len ? L - 1 : level_at(t) - 1;
+            const int seg_lo = t == 0 ? 0 : level_at(t - 1);
+            if (seg_hi < seg_lo) continue;  // adjacent positive levels
+            if (!violated(t, seg_lo)) continue;  // monotone: no hit here
+            int a = seg_lo, c = seg_hi;  // largest violated l in segment
+            while (a < c) {
+              const int mid = a + (c - a + 1) / 2;
+              if (violated(t, mid)) {
+                a = mid;
+              } else {
+                c = mid - 1;
+              }
+            }
+            s.viol[r] = Scratch::Viol{a, delta_at(t, a)};
+            break;  // segments scanned top-down: first hit is the largest l
+          }
+        }
+      });
+  double gamma_v = 0;
+  for (std::size_t r = 0; r < R; ++r) {
+    if (s.viol[r].kstar >= 0) gamma_v += s.viol[r].delta;
   }
 
   // ---- Case A (Step 5-7): vertex duals absorb the violation mass. ----
   if (gamma_v >= eps * gamma / 24.0) {
-    for (const Violation& vl : violations) {
-      for (const auto& [k, a] : pos[vl.i]) {
-        const double w = lg.level_weight(std::min(k, vl.kstar));
-        result.x.xik[key(vl.i, k)] = gamma * w / gamma_v;
+    for (std::size_t r = 0; r < R; ++r) {
+      if (s.viol[r].kstar < 0) continue;
+      const int kstar = s.viol[r].kstar;
+      for (std::size_t j = s.run_start[r]; j < s.run_start[r + 1]; ++j) {
+        const std::uint64_t kk = s.pos_keys[j];
+        const int k = static_cast<int>(kk % Lu);
+        const double w = lg.level_weight(std::min(k, kstar));
+        result.x.xik.append(kk, gamma * w / gamma_v);
       }
     }
+    return result;
+  }
+
+  if (!config_.use_odd_sets) {
+    // Bipartite mode skips straight to the primal signal; zbar and
+    // gamma_prime only feed the odd-set phase, so Step 9 is dead work here.
+    result.kind = MicroResult::Kind::kPrimal;
     return result;
   }
 
   // ---- Step 9: raise zeta to zbar on violated (i, k <= k*). ----
-  ZetaMap zbar = zeta;
-  double gamma_prime = gamma;
-  for (const Violation& vl : violations) {
-    for (const auto& [k, a] : pos[vl.i]) {
-      if (k > vl.kstar) continue;
-      const std::uint64_t kk = key(vl.i, k);
-      const double replacement = sum_us[kk] / (2.0 * rho);
-      const double old = lookup(zbar, kk);
-      if (replacement > old) {
-        zbar[kk] = replacement;
-        gamma_prime -= 3.0 * rho * lg.level_weight(k) * (replacement - old);
-      }
+  // The violated rows (runs of pos_keys) and the zeta support are both
+  // key-sorted, so zbar materializes as one linear merge into a sparse
+  // overlay — no dense buffer and no copy of zeta.
+  s.repl.clear();
+  for (std::size_t r = 0; r < R; ++r) {
+    if (s.viol[r].kstar < 0) continue;
+    const int kstar = s.viol[r].kstar;
+    for (std::size_t j = s.run_start[r]; j < s.run_start[r + 1]; ++j) {
+      const std::uint64_t kk = s.pos_keys[j];
+      if (static_cast<int>(kk % Lu) > kstar) continue;
+      s.repl.emplace_back(kk, s.pos_sum[j] / (2.0 * rho));
     }
   }
-
-  if (!config_.use_odd_sets) {
-    result.kind = MicroResult::Kind::kPrimal;
-    return result;
+  double gamma_prime = gamma;
+  s.zpairs.clear();
+  {
+    auto zit = zeta.begin();
+    std::size_t ri = 0;
+    while (zit != zeta.end() || ri < s.repl.size()) {
+      if (ri == s.repl.size() ||
+          (zit != zeta.end() && zit->first < s.repl[ri].first)) {
+        s.zpairs.emplace_back(zit->first, zit->second);
+        ++zit;
+      } else if (zit == zeta.end() || s.repl[ri].first < zit->first) {
+        const auto [kk, replacement] = s.repl[ri];
+        // Row absent from zeta: old value 0, replacement always raises.
+        gamma_prime -=
+            3.0 * rho * lg.level_weight(static_cast<int>(kk % Lu)) *
+            replacement;
+        s.zpairs.emplace_back(kk, replacement);
+        ++ri;
+      } else {
+        const auto [kk, replacement] = s.repl[ri];
+        const double old = zit->second;
+        if (replacement > old) {
+          gamma_prime -=
+              3.0 * rho * lg.level_weight(static_cast<int>(kk % Lu)) *
+              (replacement - old);
+          s.zpairs.emplace_back(kk, replacement);
+        } else {
+          s.zpairs.emplace_back(kk, old);
+        }
+        ++zit;
+        ++ri;
+      }
+    }
   }
 
   // ---- Odd-set phase (Steps 11-19, with gap lumping). ----
@@ -198,13 +452,13 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
   // packing row because no edge lives strictly inside a gap.
   std::vector<int> active_levels;
   {
-    std::vector<char> has(L, 0);
+    std::fill(s.has_level.begin(), s.has_level.end(), 0);
     for (const StoredMultiplier& sm : us) {
       const int k = lg.level(sm.edge);
-      if (k >= 0 && sm.us > 0) has[k] = 1;
+      if (k >= 0 && sm.us > 0) s.has_level[k] = 1;
     }
     for (int k = L - 1; k >= 0; --k) {
-      if (has[k]) active_levels.push_back(k);
+      if (s.has_level[k]) active_levels.push_back(k);
     }
   }
   // Restrict separation to the lowest few active levels (each costs a
@@ -215,23 +469,33 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
     first = active_levels.size() - config_.max_separation_levels;
   }
 
-  // Per-vertex zbar entries sorted by level for suffix sums.
-  std::unordered_map<Vertex, std::vector<std::pair<int, double>>>
-      zbar_by_vertex;
-  for (const auto& [kk, z] : zbar) {
-    if (z > 0) {
-      zbar_by_vertex[static_cast<Vertex>(kk / L)].emplace_back(
-          static_cast<int>(kk % L), z);
+  // Incremental per-vertex zbar suffix sums: the family loop visits levels
+  // in descending order, so sum_{k >= l} zbar_{i,k} grows monotonically —
+  // bucket the zbar support by level descending once (stable counting
+  // sort) and advance a cursor, instead of re-scanning a per-vertex list
+  // for every query. zsuffix only ever accumulates over zlevel, so zeroing
+  // the previous invocation's support restores the all-zero invariant in
+  // O(previous support).
+  for (const auto& [kk, z] : s.zlevel) s.zsuffix[kk / Lu] = 0.0;
+  {
+    std::vector<std::size_t>& koff = s.run_start;  // runs are done with it
+    koff.assign(static_cast<std::size_t>(L) + 1, 0);
+    for (const auto& [kk, z] : s.zpairs) {
+      ++koff[(Lu - 1) - kk % Lu + 1];
+    }
+    for (int k = 0; k < L; ++k) koff[k + 1] += koff[k];
+    s.zlevel.resize(s.zpairs.size());
+    for (const auto& p : s.zpairs) {
+      s.zlevel[koff[(Lu - 1) - p.first % Lu]++] = p;
     }
   }
-  auto zbar_suffix = [&](Vertex i, int l) {
-    const auto it = zbar_by_vertex.find(i);
-    if (it == zbar_by_vertex.end()) return 0.0;
-    double s = 0;
-    for (const auto& [k, z] : it->second) {
-      if (k >= l) s += z;
+  std::size_t zptr = 0;
+  auto advance_suffix = [&](int l) {
+    while (zptr < s.zlevel.size() &&
+           static_cast<int>(s.zlevel[zptr].first % Lu) >= l) {
+      s.zsuffix[s.zlevel[zptr].first / Lu] += s.zlevel[zptr].second;
+      ++zptr;
     }
-    return s;
   };
 
   struct LevelFamily {
@@ -251,7 +515,8 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
                            : 0;
     // The lowest separated level also absorbs every level below it.
     const int effective_lo = (a == active_levels.size() - 1) ? 0 : gap_lo;
-    const double gap_w = level_weight_range(lg, effective_lo, l);
+    const double gap_w = lg.level_weight_range(effective_lo, l);
+    advance_suffix(l);  // zsuffix[v] = sum_{k >= l} zbar_{v,k}
 
     // Candidate separation (a Gomory-Hu tree per level) runs once per
     // cache lifetime; Equation (4) below re-validates every candidate for
@@ -275,14 +540,15 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
         q_edges.push_back(OddSetQueryEdge{e.u, e.v, q_scale * sm.us});
       }
       if (q_edges.empty()) continue;
-      std::vector<double> q_hat(lg.graph().num_vertices(), 0.0);
-      for (std::size_t v = 0; v < q_hat.size(); ++v) {
-        q_hat[v] = static_cast<double>(b[static_cast<Vertex>(v)]) +
-                   2.0 * q_scale * rho *
-                       zbar_suffix(static_cast<Vertex>(v), l);
-      }
-      fresh = find_dense_odd_sets(lg.graph().num_vertices(), q_edges, q_hat,
-                                  b, config_.odd);
+      run_chunks(pool(), 0, n, config_.parallel_grain,
+                 [&](std::size_t, std::size_t vlo, std::size_t vhi) {
+                   for (std::size_t v = vlo; v < vhi; ++v) {
+                     s.qhat[v] =
+                         static_cast<double>(b[static_cast<Vertex>(v)]) +
+                         2.0 * q_scale * rho * s.zsuffix[v];
+                   }
+                 });
+      fresh = find_dense_odd_sets(n, q_edges, s.qhat, b, config_.odd);
       if (cache != nullptr) cache->by_level.emplace_back(l, fresh);
       candidates = &fresh;
     }
@@ -290,19 +556,28 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
     LevelFamily family;
     family.level = l;
     family.gap_weight = gap_w;
-    for (const auto& set : *candidates) {
-      // Delta(U, l) = sum_{k>=l} ( sum_{edges in U} us - rho sum_i zbar ).
-      double delta = 0;
-      for (const StoredMultiplier& sm : us) {
-        const int k = lg.level(sm.edge);
-        if (k < l || sm.us <= 0) continue;
-        const Edge& e = lg.graph().edge(sm.edge);
-        if (std::binary_search(set.begin(), set.end(), e.u) &&
-            std::binary_search(set.begin(), set.end(), e.v)) {
-          delta += sm.us;
-        }
+    // Delta(U, l) = sum_{k>=l} ( sum_{edges in U} us - rho sum_i zbar ).
+    // Candidate sets of one level are pairwise disjoint, so a single pass
+    // over the stored edges attributes each edge to (at most) one set —
+    // replacing the per-set binary-search membership scan of the map path.
+    const std::size_t nsets = candidates->size();
+    for (std::size_t c = 0; c < nsets; ++c) {
+      for (Vertex v : (*candidates)[c]) {
+        s.set_of[v] = static_cast<std::int32_t>(c);
       }
-      for (Vertex v : set) delta -= rho * zbar_suffix(v, l);
+    }
+    s.set_delta.assign(nsets, 0.0);
+    for (const StoredMultiplier& sm : us) {
+      const int k = lg.level(sm.edge);
+      if (k < l || sm.us <= 0) continue;
+      const Edge& e = lg.graph().edge(sm.edge);
+      const std::int32_t cu = s.set_of[e.u];
+      if (cu >= 0 && cu == s.set_of[e.v]) s.set_delta[cu] += sm.us;
+    }
+    for (std::size_t c = 0; c < nsets; ++c) {
+      const std::vector<Vertex>& set = (*candidates)[c];
+      double delta = s.set_delta[c];
+      for (Vertex v : set) delta -= rho * s.zsuffix[v];
       if (delta <= 0) continue;
       // Revalidate Equation (4): the set must be dense enough that
       // q_scale * delta covers floor(||U||_b / 2).
@@ -314,6 +589,9 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
       family.delta.push_back(delta);
       gamma_os += gap_w * delta;
     }
+    for (std::size_t c = 0; c < nsets; ++c) {
+      for (Vertex v : (*candidates)[c]) s.set_of[v] = -1;
+    }
     if (!family.sets.empty()) families.push_back(std::move(family));
   }
   if (cache != nullptr) cache->populated = true;
@@ -321,10 +599,10 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
   // ---- Case B (Steps 16-18): odd-set duals absorb the mass. ----
   if (gamma_os >= eps * gamma_prime / 24.0 && gamma_prime > 0) {
     for (const LevelFamily& family : families) {
-      for (std::size_t s = 0; s < family.sets.size(); ++s) {
+      for (std::size_t c = 0; c < family.sets.size(); ++c) {
         OddSetVar var;
         var.level = family.level;
-        var.members = family.sets[s];
+        var.members = family.sets[c];
         var.value = gamma_prime * family.gap_weight / gamma_os;
         result.x.odd_sets.push_back(std::move(var));
       }

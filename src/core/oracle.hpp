@@ -13,15 +13,26 @@
 //   (ii) returns a sparse dual point x = {x_i(k)} / {z_{U,l}} satisfying the
 //        Lagrangian covering inequality LagInner, which the fractional
 //        covering loop blends into the dual state.
+//
+// This is the solver's hot path. All dual variables live in flat
+// level-indexed buffers (core/flat_duals.hpp): dense scratch is reused
+// across invocations, per-vertex indexes come from sorting packed (i, k)
+// keys instead of hashing, and the per-vertex sweep plus the weighted_po
+// membership scan run on a thread pool with FIXED chunk boundaries, so
+// results are bitwise identical for any thread count. The seed's hash-map
+// implementation is retained in core/oracle_ref.hpp as the equivalence
+// baseline for tests and benchmarks.
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/dual_state.hpp"
+#include "core/flat_duals.hpp"
 #include "core/odd_sets.hpp"
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp::core {
 
@@ -32,8 +43,10 @@ struct StoredMultiplier {
   double us;
 };
 
-/// Sparse zeta_{ik} multipliers keyed by i * num_levels + k.
-using ZetaMap = std::unordered_map<std::uint64_t, double>;
+/// Sparse zeta_{ik} multipliers keyed by i * num_levels + k, sorted by key.
+/// (The name survives from the unordered_map era; the representation is a
+/// flat sorted vector now.)
+using ZetaMap = SparseDuals;
 
 struct MicroResult {
   enum class Kind {
@@ -52,6 +65,13 @@ struct OracleConfig {
   std::size_t max_separation_levels = 4;
   /// Disable odd-set separation entirely (bipartite mode).
   bool use_odd_sets = true;
+  /// Worker threads for the per-vertex sweep and membership scans
+  /// (0 = hardware concurrency, 1 = serial). Results are independent of
+  /// this value.
+  std::size_t threads = 0;
+  /// Below this many work items a parallel section runs inline; chunk
+  /// boundaries are always derived from this grain, never the pool size.
+  std::size_t parallel_grain = 1024;
 };
 
 /// Candidate odd sets per level, reusable across the rho probes of one
@@ -64,10 +84,19 @@ struct OddSetCache {
   std::vector<std::pair<int, std::vector<std::vector<Vertex>>>> by_level;
 };
 
+/// NOT const-thread-safe: one oracle instance owns reusable mutable
+/// scratch and a worker pool, so a single caller drives it at a time (the
+/// parallelism lives *inside* an invocation). Use one MicroOracle per
+/// concurrent caller.
 class MicroOracle {
  public:
-  MicroOracle(const LevelGraph& lg, const Capacities& b, OracleConfig config)
-      : lg_(&lg), b_(&b), config_(std::move(config)) {}
+  MicroOracle(const LevelGraph& lg, const Capacities& b, OracleConfig config);
+  ~MicroOracle();
+
+  MicroOracle(const MicroOracle&) = delete;
+  MicroOracle& operator=(const MicroOracle&) = delete;
+  MicroOracle(MicroOracle&&) noexcept;
+  MicroOracle& operator=(MicroOracle&&) noexcept;
 
   /// One Algorithm-5 invocation at a fixed Lagrange multiplier rho (the
   /// paper's varrho). `cache`, if given, amortizes odd-set separation
@@ -92,12 +121,19 @@ class MicroOracle {
   double weighted_qo(const ZetaMap& zeta) const;
 
  private:
+  struct Scratch;  // reusable flat buffers; defined in oracle.cpp
+
+  Scratch& scratch() const;
+  ThreadPool* pool() const;
+
   const LevelGraph* lg_;
   const Capacities* b_;
   OracleConfig config_;
+  mutable std::unique_ptr<Scratch> scratch_;
+  mutable std::unique_ptr<ThreadPool> pool_;
 };
 
-/// s1 * a + s2 * b on sparse dual points.
+/// s1 * a + s2 * b on sparse dual points (merge-join on the sorted keys).
 DualPoint combine_points(const DualPoint& a, double s1, const DualPoint& b,
                          double s2);
 

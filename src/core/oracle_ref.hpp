@@ -1,0 +1,67 @@
+#pragma once
+// Map-based reference implementation of the MicroOracle — the seed's
+// unordered_map code path, retained verbatim behind a conversion boundary.
+//
+// Production traffic runs the flat-array oracle in core/oracle.{hpp,cpp};
+// this reference exists for two consumers only:
+//   * the equivalence tests (tests/test_flat_duals.cpp) assert that the flat
+//     path reproduces the map path within 1e-9 on randomized instances, and
+//   * bench_micro measures both paths in the same binary to track the
+//     flat-vs-map speedup over time.
+// Keep the numerical structure here frozen: it is the semantic baseline the
+// optimized path is validated against.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/oracle.hpp"
+
+namespace dp::core::ref {
+
+/// Sparse zeta/x multipliers keyed by i * num_levels + k (the seed layout).
+using MapDuals = std::unordered_map<std::uint64_t, double>;
+
+struct MapDualPoint {
+  MapDuals xik;
+  std::vector<OddSetVar> odd_sets;
+};
+
+class MicroOracleRef {
+ public:
+  MicroOracleRef(const LevelGraph& lg, const Capacities& b,
+                 OracleConfig config)
+      : lg_(&lg), b_(&b), config_(std::move(config)) {}
+
+  /// One Algorithm-5 invocation at fixed rho. Converts the sparse inputs to
+  /// hash maps, runs the seed implementation, converts the result back.
+  MicroResult run(const std::vector<StoredMultiplier>& us,
+                  const SparseDuals& zeta, double beta, double rho,
+                  OddSetCache* cache = nullptr) const;
+
+  /// Lemma 10 binary search (seed implementation; the zeta map is converted
+  /// once per search, matching how the seed solver built it).
+  MicroResult run_lagrangian(const std::vector<StoredMultiplier>& us,
+                             const SparseDuals& zeta, double beta,
+                             std::size_t* calls = nullptr) const;
+
+  double weighted_po(const DualPoint& x, const SparseDuals& zeta) const;
+  double weighted_qo(const SparseDuals& zeta) const;
+
+ private:
+  MicroResult run_map(const std::vector<StoredMultiplier>& us,
+                      const MapDuals& zeta, double beta, double rho,
+                      OddSetCache* cache) const;
+  double weighted_po_map(const MapDualPoint& x, const MapDuals& zeta) const;
+  double weighted_qo_map(const MapDuals& zeta) const;
+
+  const LevelGraph* lg_;
+  const Capacities* b_;
+  OracleConfig config_;
+};
+
+/// Conversions between the flat wire format and the seed's map layout.
+MapDuals to_map(const SparseDuals& sparse);
+SparseDuals to_sparse(const MapDuals& map);
+
+}  // namespace dp::core::ref

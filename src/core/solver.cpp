@@ -245,35 +245,37 @@ SolverResult Solver::solve() {
                                  u_now[i] / prob[stored[q][i]]};
       }
 
-      // zeta: packing multipliers on the active outer rows (i, k).
+      // zeta: packing multipliers on the active outer rows (i, k), built
+      // flat: sort + unique the packed row keys, then append in key order.
       ZetaMap zeta;
       {
-        // Active rows and their current Po values.
-        ZetaMap po_rows;
+        std::vector<std::uint64_t> row_keys;
+        row_keys.reserve(2 * ids.size());
         for (EdgeId e : ids) {
           const Edge& edge = g.edge(e);
-          const int k = lg.level(e);
-          po_rows.emplace(
-              static_cast<std::uint64_t>(edge.u) * levels + k, 0.0);
-          po_rows.emplace(
-              static_cast<std::uint64_t>(edge.v) * levels + k, 0.0);
+          const auto k = static_cast<std::uint64_t>(lg.level(e));
+          row_keys.push_back(static_cast<std::uint64_t>(edge.u) * levels + k);
+          row_keys.push_back(static_cast<std::uint64_t>(edge.v) * levels + k);
         }
+        std::sort(row_keys.begin(), row_keys.end());
+        row_keys.erase(std::unique(row_keys.begin(), row_keys.end()),
+                       row_keys.end());
         double max_expo = -1e300;
-        std::vector<std::pair<std::uint64_t, double>> rows;
-        rows.reserve(po_rows.size());
-        const double alpha_p = std::log(2.0 * (po_rows.size() + 1) / eps) *
+        std::vector<double> expos(row_keys.size());
+        const double alpha_p = std::log(2.0 * (row_keys.size() + 1) / eps) *
                                6.0 / eps;
-        for (const auto& [kk, unused] : po_rows) {
-          const auto i = static_cast<Vertex>(kk / levels);
-          const int k = static_cast<int>(kk % levels);
+        for (std::size_t r = 0; r < row_keys.size(); ++r) {
+          const auto i = static_cast<Vertex>(row_keys[r] / levels);
+          const int k = static_cast<int>(row_keys[r] % levels);
           const double q_val = 3.0 * lg.level_weight(k);
-          const double expo = alpha_p * state.po_row(i, k) / q_val;
-          rows.emplace_back(kk, expo);
-          max_expo = std::max(max_expo, expo);
+          expos[r] = alpha_p * state.po_row(i, k) / q_val;
+          max_expo = std::max(max_expo, expos[r]);
         }
-        for (const auto& [kk, expo] : rows) {
-          const int k = static_cast<int>(kk % levels);
-          zeta[kk] = std::exp(expo - max_expo) / (3.0 * lg.level_weight(k));
+        zeta.reserve(row_keys.size());
+        for (std::size_t r = 0; r < row_keys.size(); ++r) {
+          const int k = static_cast<int>(row_keys[r] % levels);
+          zeta.append(row_keys[r], std::exp(expos[r] - max_expo) /
+                                       (3.0 * lg.level_weight(k)));
         }
       }
 

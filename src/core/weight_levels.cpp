@@ -40,6 +40,11 @@ LevelGraph::LevelGraph(const Graph& g, const Capacities& b, double eps)
   for (int k = 0; k < num_levels_; ++k) {
     level_weight_[k] = std::pow(1.0 + eps, k);
   }
+  level_weight_prefix_.resize(num_levels_ + 1);
+  level_weight_prefix_[0] = 0.0;
+  for (int k = 0; k < num_levels_; ++k) {
+    level_weight_prefix_[k + 1] = level_weight_prefix_[k] + level_weight_[k];
+  }
   by_level_.assign(num_levels_, {});
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (level_[e] >= 0) {

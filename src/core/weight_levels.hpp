@@ -30,6 +30,20 @@ class LevelGraph {
   /// Normalized level weight wHat_k = (1+eps)^k.
   double level_weight(int k) const noexcept { return level_weight_[k]; }
 
+  /// O(1) sum of wHat_l for l in [lo, hi] (inclusive; clamped to the valid
+  /// level range) via precomputed prefix sums.
+  double level_weight_range(int lo, int hi) const noexcept {
+    if (lo < 0) lo = 0;
+    if (hi >= num_levels_) hi = num_levels_ - 1;
+    if (lo > hi) return 0.0;
+    return level_weight_prefix_[hi + 1] - level_weight_prefix_[lo];
+  }
+
+  /// Prefix sum: sum of wHat_l for l < k (k in [0, num_levels]).
+  double level_weight_prefix(int k) const noexcept {
+    return level_weight_prefix_[k];
+  }
+
   /// Normalized (discretized) weight of edge e; 0 for dropped edges.
   double normalized_weight(EdgeId e) const noexcept {
     return level_[e] < 0 ? 0.0 : level_weight_[level_[e]];
@@ -57,6 +71,7 @@ class LevelGraph {
   int num_levels_;
   std::vector<int> level_;
   std::vector<double> level_weight_;
+  std::vector<double> level_weight_prefix_;  // size num_levels_ + 1
   std::vector<std::vector<EdgeId>> by_level_;
   std::vector<EdgeId> retained_;
 };

@@ -18,13 +18,59 @@ Graph::Graph(std::size_t n, std::vector<Edge> edges)
   }
 }
 
+Graph::Graph(const Graph& other) : n_(other.n_), edges_(other.edges_) {
+  // Concurrent readers may be lazily building other's CSR right now; take
+  // its build lock so we copy either no view or a complete one.
+  std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
+  offsets_ = other.offsets_;
+  incidences_ = other.incidences_;
+  adjacency_valid_.store(
+      other.adjacency_valid_.load(std::memory_order_relaxed),
+      std::memory_order_release);
+}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  edges_ = other.edges_;
+  std::lock_guard<std::mutex> lock(other.adjacency_mutex_);
+  offsets_ = other.offsets_;
+  incidences_ = other.incidences_;
+  adjacency_valid_.store(
+      other.adjacency_valid_.load(std::memory_order_relaxed),
+      std::memory_order_release);
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : n_(other.n_),
+      edges_(std::move(other.edges_)),
+      offsets_(std::move(other.offsets_)),
+      incidences_(std::move(other.incidences_)),
+      adjacency_valid_(other.adjacency_valid_.load(std::memory_order_acquire)) {
+  other.adjacency_valid_.store(false, std::memory_order_release);
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  n_ = other.n_;
+  edges_ = std::move(other.edges_);
+  offsets_ = std::move(other.offsets_);
+  incidences_ = std::move(other.incidences_);
+  adjacency_valid_.store(
+      other.adjacency_valid_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  other.adjacency_valid_.store(false, std::memory_order_release);
+  return *this;
+}
+
 bool Graph::add_edge(Vertex u, Vertex v, double w) {
   if (u == v) return false;
   if (u >= n_ || v >= n_) {
     throw std::out_of_range("Graph::add_edge: endpoint out of range");
   }
   edges_.push_back(Edge{u, v, w});
-  adjacency_valid_ = false;
+  adjacency_valid_.store(false, std::memory_order_release);
   return true;
 }
 
@@ -41,6 +87,10 @@ double Graph::max_weight() const noexcept {
 }
 
 void Graph::build_adjacency() const {
+  // Double-checked: racing readers serialize here; the loser of the race
+  // observes the valid flag and returns without rebuilding.
+  std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  if (adjacency_valid_.load(std::memory_order_relaxed)) return;
   offsets_.assign(n_ + 1, 0);
   for (const Edge& e : edges_) {
     ++offsets_[e.u + 1];
@@ -54,11 +104,13 @@ void Graph::build_adjacency() const {
     incidences_[cursor[edge.u]++] = Incidence{edge.v, e};
     incidences_[cursor[edge.v]++] = Incidence{edge.u, e};
   }
-  adjacency_valid_ = true;
+  adjacency_valid_.store(true, std::memory_order_release);
 }
 
 std::span<const Graph::Incidence> Graph::neighbors(Vertex u) const {
-  if (!adjacency_valid_) build_adjacency();
+  if (!adjacency_valid_.load(std::memory_order_acquire)) build_adjacency();
+  assert(adjacency_valid_.load(std::memory_order_acquire) &&
+         "neighbors() requires a built adjacency view");
   return std::span<const Incidence>(incidences_.data() + offsets_[u],
                                     offsets_[u + 1] - offsets_[u]);
 }

@@ -6,7 +6,10 @@
 // (read-only, sequential); combinatorial algorithms (matching, flows) build
 // the CSR view once and then work in-memory.
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -49,7 +52,12 @@ class Graph {
   /// Largest edge weight (0 for empty graphs).
   double max_weight() const noexcept;
 
-  /// (neighbor, edge id) pairs incident to `u`; builds CSR lazily.
+  /// (neighbor, edge id) pairs incident to `u`; builds CSR lazily. The
+  /// lazy build is mutex-guarded and the validity flag has acquire/release
+  /// ordering, so concurrent readers (ThreadPool sweeps) are safe — but
+  /// call build_adjacency() explicitly before a parallel section to avoid
+  /// serializing the first reads on the build lock. add_edge() must not
+  /// run concurrently with readers.
   struct Incidence {
     Vertex neighbor;
     EdgeId edge;
@@ -59,7 +67,8 @@ class Graph {
   /// Degree of u (requires CSR; builds lazily).
   std::size_t degree(Vertex u) const { return neighbors(u).size(); }
 
-  /// Force (re)construction of the adjacency view.
+  /// Force construction of the adjacency view; idempotent and safe to call
+  /// from multiple threads. Call before handing the graph to parallel code.
   void build_adjacency() const;
 
   /// Subgraph induced by keeping edge ids where keep[e] is true. Vertex set
@@ -69,14 +78,26 @@ class Graph {
   /// Human-readable summary, e.g. "Graph(n=100, m=450, W=13.5)".
   std::string summary() const;
 
+  // The atomic flag and build mutex are not copyable, so spell out the
+  // value semantics: copies carry the edge list and any built CSR view.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+  ~Graph() = default;
+
  private:
   std::size_t n_ = 0;
   std::vector<Edge> edges_;
 
   // Lazily built CSR adjacency (mutable: logically const accessors).
+  // adjacency_valid_ is written under adjacency_mutex_ with release order
+  // and read with acquire order, so a reader that sees `true` also sees the
+  // fully built offsets_/incidences_.
   mutable std::vector<std::size_t> offsets_;
   mutable std::vector<Incidence> incidences_;
-  mutable bool adjacency_valid_ = false;
+  mutable std::atomic<bool> adjacency_valid_{false};
+  mutable std::mutex adjacency_mutex_;
 };
 
 /// Per-vertex capacities for b-matching. For ordinary matching all b_i = 1.

@@ -39,36 +39,50 @@ void blend(std::vector<double>& acc, const std::vector<double>& next,
 
 }  // namespace
 
+void covering_multipliers_into(const std::vector<double>& ax,
+                               const std::vector<double>& c, double alpha,
+                               std::vector<double>& out) {
+  // u_l ~ exp(-alpha ax_l / c_l) / c_l; shift exponents so the largest is 0.
+  // Two passes over a single output buffer: the first stores the raw
+  // exponents, the second exponentiates in place.
+  out.resize(c.size());
+  double max_expo = -1e300;
+  for (std::size_t l = 0; l < c.size(); ++l) {
+    out[l] = -alpha * ax[l] / c[l];
+    max_expo = std::max(max_expo, out[l]);
+  }
+  for (std::size_t l = 0; l < c.size(); ++l) {
+    out[l] = std::exp(out[l] - max_expo) / c[l];
+  }
+}
+
+void packing_multipliers_into(const std::vector<double>& ax,
+                              const std::vector<double>& d, double alpha,
+                              std::vector<double>& out) {
+  out.resize(d.size());
+  double max_expo = -1e300;
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    out[r] = alpha * ax[r] / d[r];
+    max_expo = std::max(max_expo, out[r]);
+  }
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    out[r] = std::exp(out[r] - max_expo) / d[r];
+  }
+}
+
 std::vector<double> covering_multipliers(const std::vector<double>& ax,
                                          const std::vector<double>& c,
                                          double alpha) {
-  // u_l ~ exp(-alpha ax_l / c_l) / c_l; shift exponents so the largest is 0.
-  std::vector<double> expo(c.size());
-  double max_expo = -1e300;
-  for (std::size_t l = 0; l < c.size(); ++l) {
-    expo[l] = -alpha * ax[l] / c[l];
-    max_expo = std::max(max_expo, expo[l]);
-  }
-  std::vector<double> u(c.size());
-  for (std::size_t l = 0; l < c.size(); ++l) {
-    u[l] = std::exp(expo[l] - max_expo) / c[l];
-  }
+  std::vector<double> u;
+  covering_multipliers_into(ax, c, alpha, u);
   return u;
 }
 
 std::vector<double> packing_multipliers(const std::vector<double>& ax,
                                         const std::vector<double>& d,
                                         double alpha) {
-  std::vector<double> expo(d.size());
-  double max_expo = -1e300;
-  for (std::size_t r = 0; r < d.size(); ++r) {
-    expo[r] = alpha * ax[r] / d[r];
-    max_expo = std::max(max_expo, expo[r]);
-  }
-  std::vector<double> z(d.size());
-  for (std::size_t r = 0; r < d.size(); ++r) {
-    z[r] = std::exp(expo[r] - max_expo) / d[r];
-  }
+  std::vector<double> z;
+  packing_multipliers_into(ax, d, alpha, z);
   return z;
 }
 
@@ -83,6 +97,7 @@ CoveringResult fractional_covering(const CoveringProblem& problem) {
     throw std::invalid_argument("fractional_covering: initial ax size");
   }
 
+  std::vector<double> u;  // multiplier buffer reused across iterations
   while (result.oracle_calls < problem.max_oracle_calls) {
     const double lambda = min_ratio(result.point.ax, problem.c);
     result.lambda = lambda;
@@ -94,8 +109,7 @@ CoveringResult fractional_covering(const CoveringProblem& problem) {
     // continuous schedule; the guard keeps alpha finite near lambda = 0).
     const double lambda_floor = std::max(lambda, eps / (8.0 * M));
     const double alpha = 2.0 * std::log(2.0 * M / eps) / (lambda_floor * eps);
-    const std::vector<double> u =
-        covering_multipliers(result.point.ax, problem.c, alpha);
+    covering_multipliers_into(result.point.ax, problem.c, alpha, u);
 
     const auto answer = problem.oracle(u);
     ++result.oracle_calls;
@@ -126,6 +140,7 @@ PackingResult fractional_packing(const PackingProblem& problem) {
     throw std::invalid_argument("fractional_packing: initial ax size");
   }
 
+  std::vector<double> z;  // multiplier buffer reused across iterations
   while (result.oracle_calls < problem.max_oracle_calls) {
     const double lambda = max_ratio(result.point.ax, problem.d);
     result.lambda = lambda;
@@ -135,8 +150,7 @@ PackingResult fractional_packing(const PackingProblem& problem) {
     }
     const double alpha =
         2.0 * std::log(2.0 * M / delta) / (delta / std::max(lambda, 1.0));
-    const std::vector<double> z =
-        packing_multipliers(result.point.ax, problem.d, alpha);
+    packing_multipliers_into(result.point.ax, problem.d, alpha, z);
 
     const auto answer = problem.oracle(z);
     ++result.oracle_calls;

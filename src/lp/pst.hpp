@@ -88,4 +88,14 @@ std::vector<double> packing_multipliers(const std::vector<double>& ax,
                                         const std::vector<double>& d,
                                         double alpha);
 
+/// Allocation-free variants: write the multipliers into `out` (resized to
+/// match). The MW engines call these with a buffer reused across all
+/// iterations, so the steady-state loop does not touch the allocator.
+void covering_multipliers_into(const std::vector<double>& ax,
+                               const std::vector<double>& c, double alpha,
+                               std::vector<double>& out);
+void packing_multipliers_into(const std::vector<double>& ax,
+                              const std::vector<double>& d, double alpha,
+                              std::vector<double>& out);
+
 }  // namespace dp::lp

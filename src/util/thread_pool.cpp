@@ -54,6 +54,27 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   wait_idle();
 }
 
+void ThreadPool::parallel_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (end - begin + grain - 1) / grain;
+  if (chunks == 1 || workers_.size() == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    submit([c, lo, hi, &fn] { fn(c, lo, hi); });
+  }
+  wait_idle();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -40,6 +40,16 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Run fn(chunk, lo, hi) over fixed-size chunks of [begin, end): chunk c
+  /// covers [begin + c*grain, min(end, begin + (c+1)*grain)). Chunk
+  /// boundaries depend only on `grain` — never on the pool size — so
+  /// per-chunk partial results reduced in chunk order yield bitwise
+  /// identical answers for any thread count (the contract the oracle's
+  /// deterministic parallel reductions rely on). Blocks until done.
+  void parallel_chunks(
+      std::size_t begin, std::size_t end, std::size_t grain,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
  private:
   void worker_loop();
 
