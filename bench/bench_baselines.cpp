@@ -48,8 +48,9 @@ int main() {
 
   std::printf("%-16s %10s %10s %10s %10s %10s %10s\n", "family", "exact",
               "greedy", "loc-ratio", "filter", "samp+slv", "dual-prim");
-  bench::row_labels({"family_idx", "greedy", "ps", "filtering",
-                     "sample_solve", "dual_primal"});
+  bench::BenchReport report(
+      "baselines", {"family_idx", "greedy", "ps", "filtering",
+                    "sample_solve", "dual_primal"});
   int idx = 0;
   for (const Family& family : families) {
     const Graph& g = family.g;
@@ -69,7 +70,7 @@ int main() {
     const double dual = core::solve_matching(g, opts).value / opt;
     std::printf("%-16s %10.1f %10.4f %10.4f %10.4f %10.4f %10.4f\n",
                 family.name, opt, greedy, ps, filt, ss, dual);
-    bench::row({static_cast<double>(idx++), greedy, ps, filt, ss, dual});
+    report.add({static_cast<double>(idx++), greedy, ps, filt, ss, dual});
   }
   return 0;
 }

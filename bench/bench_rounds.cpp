@@ -18,8 +18,9 @@ int main() {
 
   std::printf("%-8s %-8s %14s %12s %10s %12s\n", "n", "eps", "conv_round",
               "total_rounds", "oracle", "certified");
-  bench::row_labels({"n", "eps", "conv_round", "total_rounds",
-                     "oracle_calls", "certified_ratio"});
+  bench::BenchReport report(
+      "rounds", {"n", "eps", "conv_round", "total_rounds", "oracle_calls",
+                 "certified_ratio"});
   for (std::size_t n : {100, 200, 400, 800}) {
     for (double eps : {0.25, 0.15}) {
       Graph g = gen::gnm(n, 8 * n, n + 5);
@@ -41,7 +42,7 @@ int main() {
       std::printf("%-8zu %-8.2f %14zu %12zu %10zu %12.4f\n", n, eps,
                   conv_round, result.meter.rounds(), result.oracle_calls,
                   result.certified_ratio);
-      bench::row({static_cast<double>(n), eps,
+      report.add({static_cast<double>(n), eps,
                   static_cast<double>(conv_round),
                   static_cast<double>(result.meter.rounds()),
                   static_cast<double>(result.oracle_calls),

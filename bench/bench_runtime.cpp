@@ -20,6 +20,35 @@ int main() {
                             {"n", "m", "seconds", "certified_ratio"});
   std::vector<double> ms, secs;
   const std::size_t n = 600;
+
+  // Determinism gate: the certified ratio must be bitwise identical across
+  // thread counts (the fixed-chunk contract of the oracle sweeps, lambda
+  // and covering_us).
+  {
+    Graph g = gen::gnm(n, 3000, 3001);
+    gen::weight_uniform(g, 1.0, 16.0, 3002);
+    core::SolverOptions opts;
+    opts.eps = 0.25;
+    opts.p = 2.0;
+    opts.seed = 13;
+    opts.max_outer_rounds = 2;
+    opts.sparsifiers_per_round = 2;
+    double ratio[3];
+    std::size_t slot = 0;
+    for (std::size_t threads : {1, 2, 4}) {
+      opts.oracle.threads = threads;
+      ratio[slot++] = core::solve_matching(g, opts).certified_ratio;
+    }
+    if (ratio[0] != ratio[1] || ratio[0] != ratio[2]) {
+      std::fprintf(stderr,
+                   "FATAL: certified ratio varies with thread count "
+                   "(%.17g / %.17g / %.17g)\n",
+                   ratio[0], ratio[1], ratio[2]);
+      return 1;
+    }
+    std::printf("determinism: certified ratio bitwise stable for "
+                "1/2/4 threads (%.6f)\n\n", ratio[0]);
+  }
   for (std::size_t m : {3000, 6000, 12000, 24000}) {
     Graph g = gen::gnm(n, m, m + 1);
     gen::weight_uniform(g, 1.0, 16.0, m + 2);

@@ -19,7 +19,8 @@ int main() {
 
   std::printf("%-8s %-8s %-8s %12s %12s %10s\n", "n", "xi", "gamma",
               "stored", "stored/m", "max_err");
-  bench::row_labels({"n", "xi", "gamma", "stored", "frac", "max_err"});
+  bench::BenchReport report(
+      "sparsifier", {"n", "xi", "gamma", "stored", "frac", "max_err"});
   for (std::size_t n : {200, 400}) {
     // Heterogeneous instance — the regime strength sampling is built for:
     // a dense clique core (high strength, heavily subsampled) plus a sparse
@@ -60,7 +61,7 @@ int main() {
                     gamma, ds.size(),
                     static_cast<double>(ds.size()) / static_cast<double>(m),
                     err);
-        bench::row({static_cast<double>(n), xi, gamma,
+        report.add({static_cast<double>(n), xi, gamma,
                     static_cast<double>(ds.size()),
                     static_cast<double>(ds.size()) / static_cast<double>(m),
                     err});

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<tag>.json files and flag regressions.
+
+Every bench binary persists its rows as BENCH_<tag>.json (see
+bench/bench_common.hpp). This script compares a baseline file against a
+candidate file row by row and reports per-column relative changes. A change
+larger than the threshold (default 10%) in the *bad* direction counts as a
+regression; the direction is inferred from the column name:
+
+  higher is better:  *_per_sec, speedup, *ratio*, greedy, ps, filtering,
+                     sample_solve, dual_primal
+  lower is better:   *seconds*, *_err, max_err, stored, frac, oracle_calls,
+                     conv_round, total_rounds
+
+Columns with no known direction (n, m, eps, ...) are treated as row keys /
+informational and never flagged.
+
+Usage:
+  scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+  scripts/bench_compare.py --no-fail ...   # report only, always exit 0
+
+Exit status: 1 if any regression was flagged (unless --no-fail), else 0.
+"""
+
+import argparse
+import json
+import sys
+
+# Exact column names (short names like "ps" must not substring-match
+# parameter columns like "eps").
+EXACT_HIGHER = {"speedup", "greedy", "ps", "filtering", "sample_solve",
+                "dual_primal"}
+EXACT_LOWER = {"stored", "frac", "max_err", "oracle_calls", "conv_round",
+               "total_rounds"}
+# Unambiguous substrings for derived metric names.
+SUBSTR_HIGHER = ("_per_sec", "ratio")
+SUBSTR_LOWER = ("seconds", "_err")
+
+
+def direction(column):
+    """-1 = lower is better, +1 = higher is better, 0 = informational."""
+    name = column.lower()
+    if name in EXACT_HIGHER:
+        return 1
+    if name in EXACT_LOWER:
+        return -1
+    for pat in SUBSTR_HIGHER:
+        if pat in name:
+            return 1
+    for pat in SUBSTR_LOWER:
+        if pat in name:
+            return -1
+    return 0
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    for key in ("bench", "columns", "rows"):
+        if key not in data:
+            raise ValueError(f"{path}: missing '{key}'")
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json files and flag regressions.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--no-fail", action="store_true",
+                        help="always exit 0, report only")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    if base["bench"] != cand["bench"]:
+        print(f"warning: comparing different benches "
+              f"('{base['bench']}' vs '{cand['bench']}')")
+    if base["columns"] != cand["columns"]:
+        print("error: column sets differ; cannot compare")
+        print(f"  baseline:  {base['columns']}")
+        print(f"  candidate: {cand['columns']}")
+        return 0 if args.no_fail else 1
+
+    columns = base["columns"]
+    rows = min(len(base["rows"]), len(cand["rows"]))
+    if len(base["rows"]) != len(cand["rows"]):
+        print(f"warning: row counts differ "
+              f"({len(base['rows'])} vs {len(cand['rows'])}); "
+              f"comparing the first {rows}")
+
+    regressions = 0
+    improvements = 0
+    for r in range(rows):
+        brow, crow = base["rows"][r], cand["rows"][r]
+        key = ", ".join(
+            f"{col}={brow[c]:g}" for c, col in enumerate(columns)
+            if direction(col) == 0 and c < len(brow))
+        for c, col in enumerate(columns):
+            sense = direction(col)
+            if sense == 0 or c >= len(brow) or c >= len(crow):
+                continue
+            old, new = brow[c], crow[c]
+            if old == 0:
+                continue
+            change = (new - old) / abs(old)
+            if abs(change) <= args.threshold:
+                continue
+            worse = (sense > 0) == (change < 0)
+            tag = "REGRESSION" if worse else "improvement"
+            if worse:
+                regressions += 1
+            else:
+                improvements += 1
+            print(f"{tag}: [{base['bench']}] row {r} ({key}) {col}: "
+                  f"{old:g} -> {new:g} ({change:+.1%})")
+
+    print(f"{base['bench']}: {regressions} regression(s), "
+          f"{improvements} improvement(s) beyond "
+          f"{args.threshold:.0%} across {rows} row(s)")
+    return 1 if regressions and not args.no_fail else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace dp::core {
 
 namespace {
@@ -62,17 +64,31 @@ double DualState::objective(const Capacities& b) const {
   return total * scale_;
 }
 
-double DualState::lambda(const LevelGraph& lg) const {
+double DualState::lambda(const LevelGraph& lg, ThreadPool* pool,
+                         std::size_t grain) const {
+  const std::vector<EdgeId>& retained = lg.retained();
+  const std::size_t m = retained.size();
+  if (m == 0) return 0.0;
+  if (grain == 0) grain = 1;
+  // Per-chunk minima over fixed chunk boundaries, reduced in chunk order:
+  // min is exact, so serial and parallel runs agree bitwise.
+  const std::size_t chunks = (m + grain - 1) / grain;
+  std::vector<double> partial(chunks, 1e300);
+  run_chunks(pool, 0, m, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double best = 1e300;
+               for (std::size_t idx = lo; idx < hi; ++idx) {
+                 const EdgeId e = retained[idx];
+                 const Edge& edge = lg.graph().edge(e);
+                 const int k = lg.level(e);
+                 const double row = cover_row(edge.u, edge.v, k);
+                 best = std::min(best, row / lg.level_weight(k));
+               }
+               partial[c] = best;
+             });
   double best = 1e300;
-  bool any = false;
-  for (EdgeId e : lg.retained()) {
-    const Edge& edge = lg.graph().edge(e);
-    const int k = lg.level(e);
-    const double row = cover_row(edge.u, edge.v, k);
-    best = std::min(best, row / lg.level_weight(k));
-    any = true;
-  }
-  return any ? best : 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) best = std::min(best, partial[c]);
+  return best;
 }
 
 void DualState::add_odd_set(const OddSetVar& var, double factor) {

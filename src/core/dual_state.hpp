@@ -19,6 +19,10 @@
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
 
+namespace dp {
+class ThreadPool;
+}
+
 namespace dp::core {
 
 /// One odd-set dual variable z_{U, level} = value (raw; effective value is
@@ -62,8 +66,12 @@ class DualState {
   double objective(const Capacities& b) const;
 
   /// lambda = min over retained edges of cover_row / wHat_level. Returns 0
-  /// for an empty edge set.
-  double lambda(const LevelGraph& lg) const;
+  /// for an empty edge set. With a pool, the sweep runs on fixed-grain
+  /// chunks with per-chunk minima reduced in chunk order — min is exact,
+  /// so the result is bitwise identical for any thread count (the same
+  /// parallel-determinism contract as the oracle sweeps).
+  double lambda(const LevelGraph& lg, ThreadPool* pool = nullptr,
+                std::size_t grain = 4096) const;
 
   /// Blend in an oracle output: state <- (1 - sigma) * state + sigma * p.
   void blend(const DualPoint& p, double sigma);

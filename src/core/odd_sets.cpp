@@ -3,21 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/flow_arena.hpp"
 #include "graph/gomory_hu.hpp"
-#include "graph/union_find.hpp"
 
 namespace dp::core {
 
 namespace {
 
-/// Greedily keep candidates (sorted by preference) that are pairwise
-/// disjoint.
+/// Greedily keep candidates (stable-sorted by preference, ties resolved by
+/// candidate order) that are pairwise disjoint. `taken` must be all-zero
+/// with at least n entries; it is restored to all-zero before returning.
 std::vector<std::vector<Vertex>> keep_disjoint(
     std::vector<std::pair<double, std::vector<Vertex>>>& candidates,
-    std::size_t n) {
-  std::sort(candidates.begin(), candidates.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<char> taken(n, 0);
+    std::vector<char>& taken) {
+  std::stable_sort(
+      candidates.begin(), candidates.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<std::vector<Vertex>> out;
   for (auto& [score, set] : candidates) {
     bool clash = false;
@@ -31,6 +32,9 @@ std::vector<std::vector<Vertex>> keep_disjoint(
     for (Vertex v : set) taken[v] = 1;
     out.push_back(std::move(set));
   }
+  for (const auto& set : out) {
+    for (Vertex v : set) taken[v] = 0;
+  }
   return out;
 }
 
@@ -42,12 +46,20 @@ bool is_valid_odd_set(const std::vector<Vertex>& set, const Capacities& b,
   return bw % 2 == 1 && bw <= max_b;
 }
 
-/// Exact Padberg-Rao style search on a Gomory-Hu tree of the discretized
-/// auxiliary graph H (vertices remapped to the active set; node `s` last).
-std::vector<std::vector<Vertex>> gomory_hu_odd_sets(
-    const std::vector<Vertex>& active, const std::vector<OddSetQueryEdge>& q,
+}  // namespace
+
+/// Exact Padberg-Rao style search (Lemma 25) on the discretized auxiliary
+/// graph H (vertices remapped to the active set; node `s` last). One
+/// arena-backed flow network is built ONCE; every Gusfield flow restores
+/// capacities in place, and the residual rounds that make the collection
+/// MAXIMAL contract taken vertices (disable + deficiency restitution to s)
+/// instead of rebuilding H from scratch. All working buffers live on the
+/// separator, so repeat calls reuse their capacity.
+std::vector<std::vector<Vertex>> OddSetSeparator::exact(
+    const std::vector<OddSetQueryEdge>& q,
     const std::vector<double>& q_hat, const Capacities& b,
-    std::int64_t kappa, double unit, std::int64_t max_b) {
+    std::int64_t kappa, double unit, std::int64_t max_b, int max_rounds) {
+  const std::vector<Vertex>& active = active_;
   const std::size_t na = active.size();
   // `active` is sorted, so the global->local remap is a binary search
   // instead of a hash map.
@@ -57,109 +69,216 @@ std::vector<std::vector<Vertex>> gomory_hu_odd_sets(
   };
   const auto s = static_cast<std::uint32_t>(na);  // special node
 
-  std::vector<Edge> h_edges;
-  std::vector<std::int64_t> caps;
-  std::vector<std::int64_t> incident(na, 0);
+  // Raw query edges in local ids (round bookkeeping: a round without any
+  // surviving query edge stops the search, zero-capacity edges included —
+  // they witness activity even when discretization floors them away).
+  raw_.clear();
+  raw_.reserve(q.size());
+  // Aggregated H edges: discretized q-edges merged by a sort-and-merge
+  // pass, then one deficiency edge (i, s) per vertex (possibly capacity 0
+  // now, raised later when a neighbor is contracted away).
+  agg_.clear();
+  agg_.reserve(q.size() + na);
   for (const auto& qe : q) {
-    const auto cap = static_cast<std::int64_t>(std::floor(qe.q * unit));
-    if (cap <= 0) continue;
     const std::uint32_t lu = local(qe.u);
     const std::uint32_t lv = local(qe.v);
-    h_edges.push_back(Edge{lu, lv, 1.0});
-    caps.push_back(cap);
-    incident[lu] += cap;
-    incident[lv] += cap;
+    raw_.emplace_back(lu, lv);
+    const auto cap = static_cast<std::int64_t>(std::floor(qe.q * unit));
+    if (cap <= 0) continue;
+    agg_.push_back(ArenaEdge{std::min(lu, lv), std::max(lu, lv), cap});
   }
+  aggregate_parallel_edges(agg_);
+  const std::size_t num_q_edges = agg_.size();
+
+  incident_cap_.assign(na, 0);
+  for (std::size_t e = 0; e < num_q_edges; ++e) {
+    incident_cap_[agg_[e].u] += agg_[e].cap;
+    incident_cap_[agg_[e].v] += agg_[e].cap;
+  }
+  // deficiency[i] may drift negative if the caller's q_hat underestimates
+  // the incident mass; the arena capacity clamps at 0 exactly like the
+  // seed's "only add positive-deficiency edges" rule.
+  deficiency_.assign(na, 0);
+  s_edge_.assign(na, 0);
   for (std::size_t i = 0; i < na; ++i) {
-    const auto target = static_cast<std::int64_t>(
-        std::ceil(q_hat[active[i]] * unit));
-    const std::int64_t deficiency = target - incident[i];
-    if (deficiency > 0) {
-      h_edges.push_back(Edge{static_cast<Vertex>(i), s, 1.0});
-      caps.push_back(deficiency);
-    }
+    const auto target =
+        static_cast<std::int64_t>(std::ceil(q_hat[active[i]] * unit));
+    deficiency_[i] = target - incident_cap_[i];
+    s_edge_[i] = agg_.size();
+    agg_.push_back(ArenaEdge{static_cast<std::uint32_t>(i), s,
+                             std::max<std::int64_t>(deficiency_[i], 0)});
   }
 
-  const GomoryHuTree tree = gomory_hu(na + 1, h_edges, caps);
-  std::vector<std::pair<double, std::vector<Vertex>>> candidates;
-  for (std::uint32_t v = 1; v < tree.size(); ++v) {
-    if (tree.cut_value[v] > kappa) continue;
-    std::vector<std::uint32_t> side = tree.cut_side(v);
-    // Use the side not containing s.
-    const bool s_inside =
-        std::find(side.begin(), side.end(), s) != side.end();
-    std::vector<Vertex> set;
-    if (s_inside) {
-      std::vector<char> inside(na + 1, 0);
-      for (std::uint32_t x : side) inside[x] = 1;
-      for (std::uint32_t x = 0; x < na; ++x) {
-        if (!inside[x]) set.push_back(active[x]);
-      }
-    } else {
-      for (std::uint32_t x : side) {
-        if (x < na) set.push_back(active[x]);
+  net_.build(na + 1, agg_);
+
+  alive_.assign(na + 1, 1);
+  fresh_.assign(na, 0);
+  inside_.assign(na + 1, 0);
+  std::size_t alive_count = na;
+  std::vector<std::vector<Vertex>> collected;
+
+  for (int round = 0; round < max_rounds; ++round) {
+    if (alive_count < 3) break;
+    bool any_edge = false;
+    for (const auto& [lu, lv] : raw_) {
+      if (alive_[lu] && alive_[lv]) {
+        any_edge = true;
+        break;
       }
     }
-    std::sort(set.begin(), set.end());
-    if (!is_valid_odd_set(set, b, max_b)) continue;
-    candidates.emplace_back(static_cast<double>(tree.cut_value[v]),
-                            std::move(set));
+    if (!any_edge) break;
+
+    gomory_hu_from_arena(net_, &alive_, tree_);
+    candidates_.clear();
+    for (std::uint32_t v = 0; v < tree_.size(); ++v) {
+      if (v == tree_.root || !alive_[v]) continue;
+      if (tree_.cut_value[v] > kappa) continue;
+      tree_.cut_side_into(v, side_);
+      // Use the side not containing s.
+      const bool s_inside =
+          std::find(side_.begin(), side_.end(), s) != side_.end();
+      std::vector<Vertex> set;
+      if (s_inside) {
+        for (std::uint32_t x : side_) inside_[x] = 1;
+        for (std::uint32_t x = 0; x < na; ++x) {
+          if (alive_[x] && !inside_[x]) set.push_back(active[x]);
+        }
+        for (std::uint32_t x : side_) inside_[x] = 0;
+      } else {
+        for (std::uint32_t x : side_) {
+          if (x < na) set.push_back(active[x]);
+        }
+      }
+      std::sort(set.begin(), set.end());
+      if (!is_valid_odd_set(set, b, max_b)) continue;
+      candidates_.emplace_back(static_cast<double>(tree_.cut_value[v]),
+                               std::move(set));
+    }
+    const auto found = keep_disjoint(candidates_, taken_);
+    if (found.empty()) break;
+
+    // Contract the found sets: every internal or leaving q-edge vanishes,
+    // and a surviving endpoint's deficiency absorbs the lost capacity so
+    // its target ceil(q_hat * unit) is preserved.
+    std::fill(fresh_.begin(), fresh_.end(), 0);
+    for (const auto& set : found) {
+      for (Vertex v : set) fresh_[local(v)] = 1;
+      collected.push_back(set);
+    }
+    for (std::size_t e = 0; e < num_q_edges; ++e) {
+      const std::uint32_t u = agg_[e].u;
+      const std::uint32_t v = agg_[e].v;
+      if (!alive_[u] || !alive_[v]) continue;  // removed in an earlier round
+      if (fresh_[u] == fresh_[v]) continue;    // survives, or fully internal
+      const std::uint32_t keep = fresh_[u] ? v : u;
+      deficiency_[keep] += agg_[e].cap;
+      net_.set_edge_base_cap(
+          s_edge_[keep], std::max<std::int64_t>(deficiency_[keep], 0));
+    }
+    for (std::uint32_t v = 0; v < na; ++v) {
+      if (!fresh_[v]) continue;
+      net_.disable_vertex(v);
+      alive_[v] = 0;
+      --alive_count;
+    }
   }
-  std::size_t n_max = 0;
-  for (Vertex v : active) n_max = std::max<std::size_t>(n_max, v + 1);
-  return keep_disjoint(candidates, n_max);
+  return collected;
+}
+
+void OddSetSeparator::ensure(std::size_t n) {
+  const std::size_t old = seen_.size();
+  if (old >= n) return;
+  seen_.resize(n, 0);
+  incident_.resize(n, 0.0);
+  taken_.resize(n, 0);
+  comp_of_.resize(n, -1);
+  parent_.resize(n);
+  rank_.resize(n, 0);
+  for (std::size_t v = old; v < n; ++v) {
+    parent_[v] = static_cast<std::uint32_t>(v);
+  }
+}
+
+std::uint32_t OddSetSeparator::root_of(std::uint32_t v) noexcept {
+  // Path halving; only ever touches vertices united below, so the
+  // touched-entry reset walk in heuristic() restores the forest.
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];
+    v = parent_[v];
+  }
+  return v;
 }
 
 /// Heuristic for large instances: connected components of the subgraph of
-/// heavy q-edges, trimmed to the size cap, plus all triangles among heavy
-/// edges. Each candidate is scored by deficiency (lower = denser).
-std::vector<std::vector<Vertex>> heuristic_odd_sets(
-    std::size_t n, const std::vector<OddSetQueryEdge>& q,
-    const std::vector<double>& q_hat, const Capacities& b,
-    std::int64_t max_b) {
+/// heavy q-edges, trimmed to the size cap. Each candidate is scored by
+/// deficiency (lower = denser). Everything runs on flat reusable buffers:
+/// components materialize via counting offsets (no per-component vectors)
+/// and all n-sized state is restored by walking the active list.
+std::vector<std::vector<Vertex>> OddSetSeparator::heuristic(
+    const std::vector<OddSetQueryEdge>& q, const std::vector<double>& q_hat,
+    const Capacities& b, std::int64_t max_b) {
   // Heavy edge: carries at least half of either endpoint's average share.
-  std::vector<double> incident(n, 0.0);
   for (const auto& qe : q) {
-    incident[qe.u] += qe.q;
-    incident[qe.v] += qe.q;
-  }
-  UnionFind uf(n);
-  for (const auto& qe : q) {
+    incident_[qe.u] += qe.q;
+    incident_[qe.v] += qe.q;
     if (qe.q * 4.0 >= std::min(q_hat[qe.u], q_hat[qe.v])) {
-      uf.unite(qe.u, qe.v);
+      const std::uint32_t ru = root_of(qe.u);
+      const std::uint32_t rv = root_of(qe.v);
+      if (ru != rv) {
+        // Union by rank, ties to the smaller id: deterministic forest.
+        if (rank_[ru] < rank_[rv]) {
+          parent_[ru] = rv;
+        } else if (rank_[rv] < rank_[ru]) {
+          parent_[rv] = ru;
+        } else if (ru < rv) {
+          parent_[rv] = ru;
+          ++rank_[ru];
+        } else {
+          parent_[ru] = rv;
+          ++rank_[rv];
+        }
+      }
     }
   }
-  // Component roots touched by query edges, in sorted order (the same
-  // deterministic order the std::map-based version iterated in).
-  std::vector<std::uint32_t> roots;
-  roots.reserve(2 * q.size());
-  for (const auto& qe : q) {
-    roots.push_back(uf.find(qe.u));
-    roots.push_back(uf.find(qe.v));
-  }
-  std::sort(roots.begin(), roots.end());
-  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
-  std::vector<std::vector<Vertex>> comps(roots.size());
-  for (std::size_t v = 0; v < n; ++v) {
-    const std::uint32_t r = uf.find(static_cast<std::uint32_t>(v));
-    const auto it = std::lower_bound(roots.begin(), roots.end(), r);
-    if (it != roots.end() && *it == r) {
-      comps[static_cast<std::size_t>(it - roots.begin())].push_back(
-          static_cast<Vertex>(v));
+  // Components over the active vertices, ordered by smallest member:
+  // counting pass over the (sorted) active list, then offset fill.
+  std::int32_t num_comps = 0;
+  comp_counts_.clear();
+  for (Vertex v : active_) {
+    const std::uint32_t r = root_of(v);
+    if (comp_of_[r] < 0) {
+      comp_of_[r] = num_comps++;
+      comp_counts_.push_back(0);
     }
+    ++comp_counts_[static_cast<std::size_t>(comp_of_[r])];
+  }
+  comp_off_.assign(static_cast<std::size_t>(num_comps) + 1, 0);
+  for (std::int32_t c = 0; c < num_comps; ++c) {
+    comp_off_[static_cast<std::size_t>(c) + 1] =
+        comp_off_[static_cast<std::size_t>(c)] +
+        comp_counts_[static_cast<std::size_t>(c)];
+  }
+  comp_members_.resize(active_.size());
+  comp_cursor_.assign(comp_off_.begin(), comp_off_.end() - 1);
+  for (Vertex v : active_) {
+    comp_members_[comp_cursor_[static_cast<std::size_t>(
+        comp_of_[root_of(v)])]++] = v;
   }
 
-  std::vector<std::pair<double, std::vector<Vertex>>> candidates;
-  for (auto& members : comps) {
-    if (members.size() < 3) continue;
-    std::vector<Vertex> set = members;
-    std::sort(set.begin(), set.end());
+  candidates_.clear();
+  for (std::int32_t c = 0; c < num_comps; ++c) {
+    const std::size_t lo = comp_off_[static_cast<std::size_t>(c)];
+    const std::size_t hi = comp_off_[static_cast<std::size_t>(c) + 1];
+    if (hi - lo < 3) continue;
+    // Members arrive ascending (active_ is sorted).
+    std::vector<Vertex> set(comp_members_.begin() + static_cast<long>(lo),
+                            comp_members_.begin() + static_cast<long>(hi));
     // Trim to the capacity cap by dropping the vertices with least q-mass.
     std::int64_t bw = 0;
     for (Vertex v : set) bw += b[v];
     if (bw > max_b) {
-      std::sort(set.begin(), set.end(), [&](Vertex a, Vertex c) {
-        return incident[a] > incident[c];
+      std::sort(set.begin(), set.end(), [this](Vertex a, Vertex c2) {
+        return incident_[a] > incident_[c2];
       });
       while (!set.empty() && bw > max_b) {
         bw -= b[set.back()];
@@ -171,7 +290,7 @@ std::vector<std::vector<Vertex>> heuristic_odd_sets(
     if (bw % 2 == 0 && !set.empty()) {
       std::size_t drop = 0;
       for (std::size_t i = 1; i < set.size(); ++i) {
-        if (incident[set[i]] < incident[set[drop]]) drop = i;
+        if (incident_[set[i]] < incident_[set[drop]]) drop = i;
       }
       bw -= b[set[drop]];
       set.erase(set.begin() + static_cast<long>(drop));
@@ -179,73 +298,77 @@ std::vector<std::vector<Vertex>> heuristic_odd_sets(
     if (!is_valid_odd_set(set, b, max_b)) continue;
     double deficiency = 0;
     for (Vertex v : set) deficiency += q_hat[v];
-    candidates.emplace_back(deficiency, std::move(set));
+    candidates_.emplace_back(deficiency, std::move(set));
   }
-  return keep_disjoint(candidates, n);
+  auto result = keep_disjoint(candidates_, taken_);
+  // Restore the rest state by walking only the touched entries.
+  for (Vertex v : active_) {
+    incident_[v] = 0.0;
+    comp_of_[root_of(v)] = -1;
+  }
+  for (Vertex v : active_) {
+    parent_[v] = v;
+    rank_[v] = 0;
+  }
+  return result;
 }
 
-}  // namespace
-
-std::vector<std::vector<Vertex>> find_dense_odd_sets(
+std::vector<std::vector<Vertex>> OddSetSeparator::find(
     std::size_t n, const std::vector<OddSetQueryEdge>& q_edges,
     const std::vector<double>& q_hat, const Capacities& b,
     const OddSetOptions& options) {
   if (q_edges.empty()) return {};
+  ensure(n);
   const double eps = options.eps;
   const std::int64_t max_b =
       options.max_set_b > 0
           ? options.max_set_b
           : static_cast<std::int64_t>(std::ceil(4.0 / eps));
 
-  // Active vertices: endpoints of query edges.
-  std::vector<char> seen(n, 0);
-  std::vector<Vertex> active;
+  // Active vertices (sorted): endpoints of query edges. Dense when the
+  // endpoints cover a good fraction of [0, n), so pick whichever of
+  // "rescan the flags" and "sort the collected list" is cheaper — the
+  // output is identical.
+  active_.clear();
   for (const auto& qe : q_edges) {
-    if (!seen[qe.u]) {
-      seen[qe.u] = 1;
-      active.push_back(qe.u);
+    if (!seen_[qe.u]) {
+      seen_[qe.u] = 1;
+      active_.push_back(qe.u);
     }
-    if (!seen[qe.v]) {
-      seen[qe.v] = 1;
-      active.push_back(qe.v);
+    if (!seen_[qe.v]) {
+      seen_[qe.v] = 1;
+      active_.push_back(qe.v);
     }
   }
-  std::sort(active.begin(), active.end());
+  if (active_.size() * 8 >= n) {
+    std::size_t out = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (seen_[v]) active_[out++] = static_cast<Vertex>(v);
+    }
+  } else {
+    std::sort(active_.begin(), active_.end());
+  }
+  for (Vertex v : active_) seen_[v] = 0;
 
-  if (active.size() <= options.gomory_hu_limit) {
+  if (active_.size() <= options.gomory_hu_limit) {
     const double unit = 8.0 / (eps * eps * eps);
     const auto kappa = static_cast<std::int64_t>(std::floor(unit));
     // Lemma 25 asks for a MAXIMAL disjoint collection; a single Gomory-Hu
     // tree only guarantees the minimum odd cut among its fundamental cuts.
-    // Iterate: collect disjoint sets, remove their vertices, re-run on the
-    // residual graph until no new set appears.
-    std::vector<std::vector<Vertex>> collected;
-    std::vector<char> taken(n, 0);
-    std::vector<OddSetQueryEdge> residual_edges = q_edges;
-    for (int round = 0; round < 10; ++round) {
-      std::vector<Vertex> residual_active;
-      for (Vertex v : active) {
-        if (!taken[v]) residual_active.push_back(v);
-      }
-      if (residual_active.size() < 3) break;
-      residual_edges.erase(
-          std::remove_if(residual_edges.begin(), residual_edges.end(),
-                         [&](const OddSetQueryEdge& qe) {
-                           return taken[qe.u] || taken[qe.v];
-                         }),
-          residual_edges.end());
-      if (residual_edges.empty()) break;
-      const auto found = gomory_hu_odd_sets(residual_active, residual_edges,
-                                            q_hat, b, kappa, unit, max_b);
-      if (found.empty()) break;
-      for (const auto& set : found) {
-        for (Vertex v : set) taken[v] = 1;
-        collected.push_back(set);
-      }
-    }
-    return collected;
+    // exact() iterates: collect disjoint sets, contract their vertices
+    // out of the arena, rebuild the tree on the shrunken network until no
+    // new set appears.
+    return exact(q_edges, q_hat, b, kappa, unit, max_b, /*max_rounds=*/10);
   }
-  return heuristic_odd_sets(n, q_edges, q_hat, b, max_b);
+  return heuristic(q_edges, q_hat, b, max_b);
+}
+
+std::vector<std::vector<Vertex>> find_dense_odd_sets(
+    std::size_t n, const std::vector<OddSetQueryEdge>& q_edges,
+    const std::vector<double>& q_hat, const Capacities& b,
+    const OddSetOptions& options) {
+  OddSetSeparator separator;
+  return separator.find(n, q_edges, q_hat, b, options);
 }
 
 }  // namespace dp::core

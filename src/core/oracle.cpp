@@ -5,34 +5,6 @@
 
 namespace dp::core {
 
-namespace {
-
-/// Run fn(chunk, lo, hi) over fixed-grain chunks of [begin, end), inline
-/// when no pool is available or the range is a single chunk. Chunk
-/// boundaries depend only on `grain`, so serial and parallel execution
-/// produce identical chunk decompositions (and therefore identical
-/// chunk-ordered reductions).
-template <typename Fn>
-void run_chunks(ThreadPool* pool, std::size_t begin, std::size_t end,
-                std::size_t grain, const Fn& fn) {
-  if (begin >= end) return;
-  if (grain == 0) grain = 1;
-  if (pool == nullptr || end - begin <= grain) {
-    const std::size_t chunks = (end - begin + grain - 1) / grain;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t lo = begin + c * grain;
-      fn(c, lo, std::min(end, lo + grain));
-    }
-    return;
-  }
-  pool->parallel_chunks(begin, end, grain,
-                        [&fn](std::size_t c, std::size_t lo, std::size_t hi) {
-                          fn(c, lo, hi);
-                        });
-}
-
-}  // namespace
-
 /// Reusable flat scratch for one oracle instance. Dense buffers are sized
 /// n*L once and cleared in O(touched) between invocations; vectors keep
 /// their capacity across calls so the steady state allocates nothing.
@@ -64,15 +36,18 @@ struct MicroOracle::Scratch {
   std::vector<std::pair<std::uint64_t, double>> zpairs;
   std::vector<std::pair<std::uint64_t, double>> zlevel;
   std::vector<double> zsuffix;  // vertex -> sum zbar_{v,k>=l} (current l)
-  std::vector<double> qhat;           // per-vertex q_hat for separation
   std::vector<std::int32_t> set_of;   // vertex -> candidate id at this level
-  std::vector<double> set_delta;      // per-candidate us mass
   std::vector<double> partials;       // per-item results for reductions
+  /// Per-job separation state, reused across invocations so steady-state
+  /// separation allocates nothing: one engine plus one query-edge/q_hat
+  /// snapshot buffer per per-level job slot.
+  std::vector<OddSetSeparator> separators;
+  std::vector<std::vector<OddSetQueryEdge>> job_q;
+  std::vector<std::vector<double>> job_qhat;
 
   void ensure(std::size_t n, int levels) {
     if (zsuffix.size() < n) {
       zsuffix.resize(n, 0.0);
-      qhat.resize(n, 0.0);
       set_of.assign(n, -1);
       voff.resize(n + 1, 0);
     }
@@ -497,6 +472,85 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
       ++zptr;
     }
   };
+  // Point query sum_{k >= l} zbar_{v,k} from the key-sorted zbar overlay,
+  // summed with levels DESCENDING — the exact accumulation order of the
+  // suffix cursor, so per-vertex sums stay bitwise stable across probes.
+  auto zbar_suffix_at = [&s, Lu](Vertex v, int l) {
+    const std::uint64_t lo_key =
+        static_cast<std::uint64_t>(v) * Lu + static_cast<std::uint64_t>(l);
+    const std::uint64_t hi_key = static_cast<std::uint64_t>(v) * Lu + Lu;
+    auto cmp = [](const std::pair<std::uint64_t, double>& p,
+                  std::uint64_t k) { return p.first < k; };
+    auto lo_it =
+        std::lower_bound(s.zpairs.begin(), s.zpairs.end(), lo_key, cmp);
+    auto hi_it = std::lower_bound(lo_it, s.zpairs.end(), hi_key, cmp);
+    double total = 0;
+    while (hi_it != lo_it) {
+      --hi_it;
+      total += hi_it->second;
+    }
+    return total;
+  };
+
+  const double q_scale = (1.0 - eps / 4.0) * beta / gamma;
+
+  // A run() without a caller-provided cache behaves like a one-probe
+  // Lagrangian search: same code path, locally scoped reuse.
+  OddSetCache local_cache;
+  OddSetCache* sep = cache != nullptr ? cache : &local_cache;
+
+  // ---- Separation (once per cache lifetime). ----
+  // Walk the levels downward with the zbar suffix cursor, snapshotting
+  // per-level query edges and q_hat; then separate ALL levels in one
+  // parallel fan-out — the per-level Gomory-Hu trees are independent and
+  // each is computed by a deterministic serial routine, so the fan-out is
+  // bitwise thread-count-invariant. Equation (4) below re-validates every
+  // candidate for the current rho, so cache reuse never costs soundness.
+  if (!sep->populated) {
+    std::size_t jobs = 0;
+    std::vector<std::size_t> job_entry;
+    for (std::size_t a = first; a < active_levels.size(); ++a) {
+      const int l = active_levels[a];
+      advance_suffix(l);  // zsuffix[v] = sum_{k >= l} zbar_{v,k}
+      if (s.job_q.size() <= jobs) {
+        s.job_q.emplace_back();
+        s.job_qhat.emplace_back();
+        s.separators.emplace_back();
+      }
+      std::vector<OddSetQueryEdge>& q_edges = s.job_q[jobs];
+      q_edges.clear();
+      for (const StoredMultiplier& sm : us) {
+        const int k = lg.level(sm.edge);
+        if (k < l || sm.us <= 0) continue;
+        const Edge& e = lg.graph().edge(sm.edge);
+        q_edges.push_back(OddSetQueryEdge{e.u, e.v, q_scale * sm.us});
+      }
+      if (q_edges.empty()) continue;
+      // Separation reads q_hat only at this level's query-edge endpoints,
+      // so only those entries are filled (stale slots are never read; the
+      // write is idempotent per vertex, so duplicates are harmless).
+      std::vector<double>& qhat = s.job_qhat[jobs];
+      qhat.resize(n);
+      for (const OddSetQueryEdge& qe : q_edges) {
+        qhat[qe.u] = static_cast<double>(b[qe.u]) +
+                     2.0 * q_scale * rho * s.zsuffix[qe.u];
+        qhat[qe.v] = static_cast<double>(b[qe.v]) +
+                     2.0 * q_scale * rho * s.zsuffix[qe.v];
+      }
+      job_entry.push_back(sep->by_level.size());
+      sep->by_level.emplace_back();
+      sep->by_level.back().level = l;
+      ++jobs;
+    }
+    run_chunks(pool(), 0, jobs, 1,
+               [&](std::size_t, std::size_t jlo, std::size_t jhi) {
+                 for (std::size_t j = jlo; j < jhi; ++j) {
+                   sep->by_level[job_entry[j]].sets = s.separators[j].find(
+                       n, s.job_q[j], s.job_qhat[j], b, config_.odd);
+                 }
+               });
+    sep->populated = true;
+  }
 
   struct LevelFamily {
     int level;
@@ -506,95 +560,66 @@ MicroResult MicroOracle::run(const std::vector<StoredMultiplier>& us,
   };
   std::vector<LevelFamily> families;
   double gamma_os = 0;
-  const double q_scale = (1.0 - eps / 4.0) * beta / gamma;
 
   for (std::size_t a = first; a < active_levels.size(); ++a) {
     const int l = active_levels[a];
+    OddSetCache::LevelEntry* entry = sep->find(l);
+    if (entry == nullptr || entry->sets.empty()) continue;
     const int gap_lo = (a + 1 < active_levels.size())
                            ? active_levels[a + 1] + 1
                            : 0;
     // The lowest separated level also absorbs every level below it.
     const int effective_lo = (a == active_levels.size() - 1) ? 0 : gap_lo;
     const double gap_w = lg.level_weight_range(effective_lo, l);
-    advance_suffix(l);  // zsuffix[v] = sum_{k >= l} zbar_{v,k}
 
-    // Candidate separation (a Gomory-Hu tree per level) runs once per
-    // cache lifetime; Equation (4) below re-validates every candidate for
-    // the current rho, so reuse never costs soundness.
-    const std::vector<std::vector<Vertex>>* candidates = nullptr;
-    std::vector<std::vector<Vertex>> fresh;
-    if (cache != nullptr && cache->populated) {
-      for (const auto& [lvl, sets] : cache->by_level) {
-        if (lvl == l) {
-          candidates = &sets;
-          break;
+    // Per-candidate static aux, cached across probes (us is fixed for the
+    // whole Lagrangian search). Candidate sets of one level are pairwise
+    // disjoint, so a single pass over the stored edges attributes each
+    // edge to (at most) one set — replacing the per-set binary-search
+    // membership scan of the map path.
+    const std::size_t nsets = entry->sets.size();
+    if (!entry->aux_valid) {
+      entry->bw.assign(nsets, 0);
+      entry->us_mass.assign(nsets, 0.0);
+      for (std::size_t c = 0; c < nsets; ++c) {
+        for (Vertex v : entry->sets[c]) {
+          s.set_of[v] = static_cast<std::int32_t>(c);
+          entry->bw[c] += b[v];
         }
       }
-      if (candidates == nullptr) continue;  // level had no candidates
-    } else {
-      std::vector<OddSetQueryEdge> q_edges;
       for (const StoredMultiplier& sm : us) {
         const int k = lg.level(sm.edge);
         if (k < l || sm.us <= 0) continue;
         const Edge& e = lg.graph().edge(sm.edge);
-        q_edges.push_back(OddSetQueryEdge{e.u, e.v, q_scale * sm.us});
+        const std::int32_t cu = s.set_of[e.u];
+        if (cu >= 0 && cu == s.set_of[e.v]) entry->us_mass[cu] += sm.us;
       }
-      if (q_edges.empty()) continue;
-      run_chunks(pool(), 0, n, config_.parallel_grain,
-                 [&](std::size_t, std::size_t vlo, std::size_t vhi) {
-                   for (std::size_t v = vlo; v < vhi; ++v) {
-                     s.qhat[v] =
-                         static_cast<double>(b[static_cast<Vertex>(v)]) +
-                         2.0 * q_scale * rho * s.zsuffix[v];
-                   }
-                 });
-      fresh = find_dense_odd_sets(n, q_edges, s.qhat, b, config_.odd);
-      if (cache != nullptr) cache->by_level.emplace_back(l, fresh);
-      candidates = &fresh;
+      for (std::size_t c = 0; c < nsets; ++c) {
+        for (Vertex v : entry->sets[c]) s.set_of[v] = -1;
+      }
+      entry->aux_valid = true;
     }
 
     LevelFamily family;
     family.level = l;
     family.gap_weight = gap_w;
     // Delta(U, l) = sum_{k>=l} ( sum_{edges in U} us - rho sum_i zbar ).
-    // Candidate sets of one level are pairwise disjoint, so a single pass
-    // over the stored edges attributes each edge to (at most) one set —
-    // replacing the per-set binary-search membership scan of the map path.
-    const std::size_t nsets = candidates->size();
     for (std::size_t c = 0; c < nsets; ++c) {
-      for (Vertex v : (*candidates)[c]) {
-        s.set_of[v] = static_cast<std::int32_t>(c);
-      }
-    }
-    s.set_delta.assign(nsets, 0.0);
-    for (const StoredMultiplier& sm : us) {
-      const int k = lg.level(sm.edge);
-      if (k < l || sm.us <= 0) continue;
-      const Edge& e = lg.graph().edge(sm.edge);
-      const std::int32_t cu = s.set_of[e.u];
-      if (cu >= 0 && cu == s.set_of[e.v]) s.set_delta[cu] += sm.us;
-    }
-    for (std::size_t c = 0; c < nsets; ++c) {
-      const std::vector<Vertex>& set = (*candidates)[c];
-      double delta = s.set_delta[c];
-      for (Vertex v : set) delta -= rho * s.zsuffix[v];
+      const std::vector<Vertex>& set = entry->sets[c];
+      double delta = entry->us_mass[c];
+      for (Vertex v : set) delta -= rho * zbar_suffix_at(v, l);
       if (delta <= 0) continue;
       // Revalidate Equation (4): the set must be dense enough that
       // q_scale * delta covers floor(||U||_b / 2).
-      std::int64_t bw = 0;
-      for (Vertex v : set) bw += b[v];
-      const double need = std::floor(static_cast<double>(bw) / 2.0);
+      const double need =
+          std::floor(static_cast<double>(entry->bw[c]) / 2.0);
       if (q_scale * delta < need) continue;
       family.sets.push_back(set);
       family.delta.push_back(delta);
       gamma_os += gap_w * delta;
     }
-    for (std::size_t c = 0; c < nsets; ++c) {
-      for (Vertex v : (*candidates)[c]) s.set_of[v] = -1;
-    }
     if (!family.sets.empty()) families.push_back(std::move(family));
   }
-  if (cache != nullptr) cache->populated = true;
 
   // ---- Case B (Steps 16-18): odd-set duals absorb the mass. ----
   if (gamma_os >= eps * gamma_prime / 24.0 && gamma_prime > 0) {

@@ -75,13 +75,38 @@ struct OracleConfig {
 };
 
 /// Candidate odd sets per level, reusable across the rho probes of one
-/// Lagrangian search: separation (a Gomory-Hu tree per level) runs once;
-/// every probe re-validates Equation (4) per candidate, which keeps
-/// soundness independent of the cache.
+/// Lagrangian search: separation (an arena-backed Gomory-Hu pass per
+/// level) runs once; every probe re-validates Equation (4) per candidate,
+/// which keeps soundness independent of the cache. The per-candidate
+/// static aux (b-weight and internal us mass) is also cached — it depends
+/// only on the stored multipliers, which are fixed across the probes of
+/// one Lagrangian search — so a probe recomputes nothing but the
+/// rho-dependent zbar terms.
 struct OddSetCache {
+  struct LevelEntry {
+    int level = -1;
+    std::vector<std::vector<Vertex>> sets;
+    /// Per-candidate ||U||_b and sum of us over edges internal to U;
+    /// filled lazily on first use (aux_valid), identical for every probe.
+    std::vector<std::int64_t> bw;
+    std::vector<double> us_mass;
+    bool aux_valid = false;
+  };
   bool populated = false;
-  /// candidate sets per separated level (level, sets).
-  std::vector<std::pair<int, std::vector<std::vector<Vertex>>>> by_level;
+  std::vector<LevelEntry> by_level;
+
+  LevelEntry* find(int level) {
+    for (LevelEntry& e : by_level) {
+      if (e.level == level) return &e;
+    }
+    return nullptr;
+  }
+  const LevelEntry* find(int level) const {
+    for (const LevelEntry& e : by_level) {
+      if (e.level == level) return &e;
+    }
+    return nullptr;
+  }
 };
 
 /// NOT const-thread-safe: one oracle instance owns reusable mutable
@@ -119,6 +144,11 @@ class MicroOracle {
 
   /// zeta^T qo = sum zeta_{ik} * 3 wHat_k.
   double weighted_qo(const ZetaMap& zeta) const;
+
+  /// The oracle's lazily created worker pool (nullptr when
+  /// config.threads == 1). The solver shares it for its own sweeps
+  /// (lambda, covering_us) so one solve runs exactly one pool.
+  ThreadPool* worker_pool() const { return pool(); }
 
  private:
   struct Scratch;  // reusable flat buffers; defined in oracle.cpp

@@ -309,13 +309,9 @@ MicroResult MicroOracleRef::run_map(const std::vector<StoredMultiplier>& us,
     const std::vector<std::vector<Vertex>>* candidates = nullptr;
     std::vector<std::vector<Vertex>> fresh;
     if (cache != nullptr && cache->populated) {
-      for (const auto& [lvl, sets] : cache->by_level) {
-        if (lvl == l) {
-          candidates = &sets;
-          break;
-        }
-      }
-      if (candidates == nullptr) continue;  // level had no candidates
+      const OddSetCache::LevelEntry* entry = cache->find(l);
+      if (entry == nullptr) continue;  // level had no candidates
+      candidates = &entry->sets;
     } else {
       std::vector<OddSetQueryEdge> q_edges;
       for (const StoredMultiplier& sm : us) {
@@ -333,7 +329,11 @@ MicroResult MicroOracleRef::run_map(const std::vector<StoredMultiplier>& us,
       }
       fresh = find_dense_odd_sets(lg.graph().num_vertices(), q_edges, q_hat,
                                   b, config_.odd);
-      if (cache != nullptr) cache->by_level.emplace_back(l, fresh);
+      if (cache != nullptr) {
+        cache->by_level.emplace_back();
+        cache->by_level.back().level = l;
+        cache->by_level.back().sets = fresh;
+      }
       candidates = &fresh;
     }
 

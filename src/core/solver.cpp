@@ -9,6 +9,7 @@
 #include "sparsify/deferred.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp::core {
 
@@ -17,29 +18,55 @@ namespace {
 /// Exponent-shifted covering multipliers u_e = exp(-alpha row_e/wHat_e)/wHat_e
 /// for the given edge ids, clamped to a dynamic range of eps/(4m) so the
 /// number of geometric promise classes stays O(log(m/eps)) (the paper's L0
-/// bound plays the same role).
+/// bound plays the same role). Runs on fixed-grain chunks: the cover_row
+/// reads and exp evaluations are per-element, and the min/max reductions
+/// over chunk partials are exact, so the output is bitwise identical for
+/// any thread count (the oracle sweeps' determinism contract).
 std::vector<double> covering_us(const DualState& state, const LevelGraph& lg,
                                 const std::vector<EdgeId>& edges,
-                                double alpha) {
-  std::vector<double> ratio(edges.size(), 0.0);
+                                double alpha, ThreadPool* pool,
+                                std::size_t grain) {
+  const std::size_t m = edges.size();
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = m == 0 ? 0 : (m + grain - 1) / grain;
+  std::vector<double> ratio(m, 0.0);
+  std::vector<double> partial(chunks, 1e300);
+  run_chunks(pool, 0, m, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_min = 1e300;
+               for (std::size_t idx = lo; idx < hi; ++idx) {
+                 const EdgeId e = edges[idx];
+                 const Edge& edge = lg.graph().edge(e);
+                 const int k = lg.level(e);
+                 ratio[idx] =
+                     state.cover_row(edge.u, edge.v, k) / lg.level_weight(k);
+                 local_min = std::min(local_min, ratio[idx]);
+               }
+               partial[c] = local_min;
+             });
   double min_ratio = 1e300;
-  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
-    const EdgeId e = edges[idx];
-    const Edge& edge = lg.graph().edge(e);
-    const int k = lg.level(e);
-    ratio[idx] = state.cover_row(edge.u, edge.v, k) / lg.level_weight(k);
-    min_ratio = std::min(min_ratio, ratio[idx]);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    min_ratio = std::min(min_ratio, partial[c]);
   }
-  std::vector<double> u(edges.size(), 0.0);
+  std::vector<double> u(m, 0.0);
+  std::fill(partial.begin(), partial.end(), 0.0);
+  run_chunks(pool, 0, m, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_max = 0;
+               for (std::size_t idx = lo; idx < hi; ++idx) {
+                 const int k = lg.level(edges[idx]);
+                 u[idx] = std::exp(-alpha * (ratio[idx] - min_ratio)) /
+                          lg.level_weight(k);
+                 local_max = std::max(local_max, u[idx]);
+               }
+               partial[c] = local_max;
+             });
   double u_max = 0;
-  for (std::size_t idx = 0; idx < edges.size(); ++idx) {
-    const int k = lg.level(edges[idx]);
-    u[idx] =
-        std::exp(-alpha * (ratio[idx] - min_ratio)) / lg.level_weight(k);
-    u_max = std::max(u_max, u[idx]);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    u_max = std::max(u_max, partial[c]);
   }
   const double floor_value =
-      u_max * lg.eps() / (4.0 * static_cast<double>(edges.size()) + 4.0);
+      u_max * lg.eps() / (4.0 * static_cast<double>(m) + 4.0);
   for (double& value : u) value = std::max(value, floor_value);
   return u;
 }
@@ -157,6 +184,11 @@ SolverResult Solver::solve() {
   }
 
   MicroOracle oracle(lg, b_, options_.oracle);
+  // The solver-side sweeps (lambda, covering_us) share the oracle's pool
+  // under the same fixed-chunk determinism contract — one solve, one pool.
+  ThreadPool* pool = oracle.worker_pool();
+  const std::size_t grain =
+      std::max<std::size_t>(1, options_.oracle.parallel_grain);
   DeferredOptions dopt;
   // Internal sparsifier accuracy is decoupled from eps: the driver
   // re-solves offline on the stored union every round and the dual
@@ -177,7 +209,7 @@ SolverResult Solver::solve() {
   const int levels = lg.num_levels();
   for (std::size_t round = 0; round < max_rounds; ++round) {
     // lambda and early stopping (Corollary 6's certificate).
-    const double lambda = state.lambda(lg);
+    const double lambda = state.lambda(lg, pool, grain);
     result.lambda = lambda;
     if (lambda >= 1.0 - 3.0 * eps) break;
     if (options_.target_ratio > 0 && result.value > 0 && lambda > 0) {
@@ -196,7 +228,7 @@ SolverResult Solver::solve() {
 
     // Promise multipliers over every retained edge; ONE access round.
     const std::vector<double> promise =
-        covering_us(state, lg, retained, alpha);
+        covering_us(state, lg, retained, alpha, pool, grain);
     const std::vector<double> prob = deferred_probabilities(
         g.num_vertices(), retained_edges, promise, dopt, rng.next());
     result.meter.add_round();
@@ -238,7 +270,8 @@ SolverResult Solver::solve() {
       std::vector<EdgeId> ids;
       ids.reserve(stored[q].size());
       for (std::size_t idx : stored[q]) ids.push_back(retained[idx]);
-      const std::vector<double> u_now = covering_us(state, lg, ids, alpha);
+      const std::vector<double> u_now =
+          covering_us(state, lg, ids, alpha, pool, grain);
       std::vector<StoredMultiplier> us(ids.size());
       for (std::size_t i = 0; i < ids.size(); ++i) {
         us[i] = StoredMultiplier{ids[i],
@@ -308,7 +341,7 @@ SolverResult Solver::solve() {
   }
 
   // ---- Certificate: explicit dual, verified edge by edge. ----
-  const double lambda = state.lambda(lg);
+  const double lambda = state.lambda(lg, pool, grain);
   result.lambda = lambda;
   result.beta = beta;
   // Best verified bound among the multiplicative-weights certificate and

@@ -1,9 +1,9 @@
 #pragma once
-// Dinic maximum-flow on integer capacities.
+// Dinic maximum-flow on integer capacities (linked-list arc storage).
 //
-// Used by the odd-set separation machinery (Lemma 24/25 of the paper): the
-// Padberg-Rao style search for minimum odd cuts runs max-flows on the graph
-// H built from discretized multipliers, which is why capacities are int64.
+// The odd-set separation hot path now runs on graph/flow_arena.hpp (CSR,
+// incremental capacity restore); this implementation is retained as the
+// simple reference that the arena is validated against in tests/test_flow.
 
 #include <cstdint>
 #include <vector>

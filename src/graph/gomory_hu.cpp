@@ -1,32 +1,36 @@
 #include "graph/gomory_hu.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
-
-#include "graph/dinic.hpp"
 
 namespace dp {
 
-std::int64_t GomoryHuTree::min_cut(std::uint32_t s, std::uint32_t t) const {
-  // Lift both endpoints to the root, tracking the path minimum. Depth is at
-  // most n, so walk via depth computation.
+void GomoryHuTree::finalize() {
   const std::size_t n = parent.size();
-  std::vector<int> depth(n, -1);
-  auto depth_of = [&](std::uint32_t v) {
-    int d = 0;
-    std::uint32_t x = v;
-    while (x != 0 && parent[x] != x) {
-      ++d;
-      x = parent[x];
-      if (d > static_cast<int>(n)) break;  // defensive
-    }
-    return d;
-  };
-  int ds = depth_of(s);
-  int dt = depth_of(t);
+  depth.assign(n, 0);
+  // Gusfield invariant: parent[v] is either v's root or an index < v, so a
+  // single increasing pass resolves every depth.
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (parent[v] != v) depth[v] = depth[parent[v]] + 1;
+  }
+  child_off.assign(n + 1, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (parent[v] != v) ++child_off[parent[v] + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) child_off[v + 1] += child_off[v];
+  child_list.resize(n == 0 ? 0 : child_off[n]);
+  std::vector<std::uint32_t> cursor(child_off.begin(), child_off.end() - 1);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (parent[v] != v) child_list[cursor[parent[v]]++] = v;
+  }
+}
+
+std::int64_t GomoryHuTree::min_cut(std::uint32_t s, std::uint32_t t) const {
   std::int64_t best = INT64_MAX;
-  std::uint32_t a = s, b = t;
+  std::int32_t ds = depth[s];
+  std::int32_t dt = depth[t];
+  std::uint32_t a = s;
+  std::uint32_t b = t;
   while (ds > dt) {
     best = std::min(best, cut_value[a]);
     a = parent[a];
@@ -38,6 +42,7 @@ std::int64_t GomoryHuTree::min_cut(std::uint32_t s, std::uint32_t t) const {
     --dt;
   }
   while (a != b) {
+    if (parent[a] == a && parent[b] == b) return 0;  // different components
     best = std::min(best, cut_value[a]);
     best = std::min(best, cut_value[b]);
     a = parent[a];
@@ -46,20 +51,67 @@ std::int64_t GomoryHuTree::min_cut(std::uint32_t s, std::uint32_t t) const {
   return best == INT64_MAX ? 0 : best;
 }
 
-std::vector<std::uint32_t> GomoryHuTree::cut_side(std::uint32_t v) const {
-  const std::size_t n = parent.size();
-  // Children lists.
-  std::vector<std::vector<std::uint32_t>> children(n);
-  for (std::uint32_t x = 1; x < n; ++x) children[parent[x]].push_back(x);
-  std::vector<std::uint32_t> side;
-  std::vector<std::uint32_t> stack{v};
-  while (!stack.empty()) {
-    const std::uint32_t x = stack.back();
-    stack.pop_back();
-    side.push_back(x);
-    for (std::uint32_t c : children[x]) stack.push_back(c);
+void GomoryHuTree::cut_side_into(std::uint32_t v,
+                                 std::vector<std::uint32_t>& out) const {
+  out.clear();
+  // Iterative subtree walk on the children CSR: out doubles as the stack —
+  // entries before `head` are emitted, entries at/after it are pending.
+  out.push_back(v);
+  std::size_t head = 0;
+  while (head < out.size()) {
+    const std::uint32_t x = out[head++];
+    for (std::uint32_t c = child_off[x]; c < child_off[x + 1]; ++c) {
+      out.push_back(child_list[c]);
+    }
   }
+}
+
+std::vector<std::uint32_t> GomoryHuTree::cut_side(std::uint32_t v) const {
+  std::vector<std::uint32_t> side;
+  cut_side_into(v, side);
   return side;
+}
+
+void gomory_hu_from_arena(FlowArena& net, const std::vector<char>* alive,
+                          GomoryHuTree& tree) {
+  const std::size_t n = net.num_vertices();
+  tree.cut_value.assign(n, 0);
+  tree.parent.resize(n);
+  tree.root = 0;
+  auto is_alive = [alive](std::uint32_t v) {
+    return alive == nullptr || (*alive)[v] != 0;
+  };
+  std::uint32_t root = 0;
+  while (root < n && !is_alive(root)) ++root;
+  if (root >= n) {  // nothing alive: forest of singletons
+    for (std::uint32_t v = 0; v < n; ++v) tree.parent[v] = v;
+    tree.finalize();
+    return;
+  }
+  tree.root = root;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    tree.parent[v] = is_alive(v) ? root : v;
+  }
+  // Gusfield: for each i, flow to the current parent; re-parent later
+  // siblings that fall on i's side of the cut.
+  std::vector<char> side;
+  for (std::uint32_t i = root + 1; i < n; ++i) {
+    if (!is_alive(i)) continue;
+    const std::uint32_t p = tree.parent[i];
+    tree.cut_value[i] = net.max_flow(i, p);
+    net.min_cut_side(i, side);
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (tree.parent[j] == p && side[j] && is_alive(j)) tree.parent[j] = i;
+    }
+  }
+  tree.finalize();
+}
+
+GomoryHuTree gomory_hu_from_arena(FlowArena& net,
+                                  const std::vector<char>* alive) {
+  GomoryHuTree tree;
+  gomory_hu_from_arena(net, alive, tree);
+  return tree;
 }
 
 GomoryHuTree gomory_hu(std::size_t n, const std::vector<Edge>& edges,
@@ -67,34 +119,27 @@ GomoryHuTree gomory_hu(std::size_t n, const std::vector<Edge>& edges,
   if (edges.size() != cap.size()) {
     throw std::invalid_argument("gomory_hu: cap size mismatch");
   }
-  // Aggregate parallel edges.
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::int64_t> agg;
+  if (n <= 1) {
+    GomoryHuTree tree;
+    tree.parent.assign(n, 0);
+    tree.cut_value.assign(n, 0);
+    tree.finalize();
+    return tree;
+  }
+  // Aggregate parallel edges: sort-and-merge over a flat buffer (no node
+  // allocations, unlike the old std::map path).
+  std::vector<ArenaEdge> agg;
+  agg.reserve(edges.size());
   for (std::size_t e = 0; e < edges.size(); ++e) {
     if (cap[e] <= 0) continue;
-    auto key = std::minmax(edges[e].u, edges[e].v);
-    agg[{key.first, key.second}] += cap[e];
+    const auto key = std::minmax(edges[e].u, edges[e].v);
+    agg.push_back(ArenaEdge{key.first, key.second, cap[e]});
   }
-  GomoryHuTree tree;
-  tree.parent.assign(n, 0);
-  tree.cut_value.assign(n, 0);
-  if (n <= 1) return tree;
+  aggregate_parallel_edges(agg);
 
-  Dinic dinic(n);
-  for (const auto& [key, c] : agg) {
-    dinic.add_edge(key.first, key.second, c);
-  }
-  // Gusfield: for each i, flow to current parent; re-parent siblings that
-  // fall on i's side of the cut.
-  for (std::uint32_t i = 1; i < n; ++i) {
-    const std::uint32_t p = tree.parent[i];
-    const std::int64_t f = dinic.max_flow(i, p);
-    tree.cut_value[i] = f;
-    const std::vector<char> side = dinic.min_cut_side(i);
-    for (std::uint32_t j = i + 1; j < n; ++j) {
-      if (tree.parent[j] == p && side[j]) tree.parent[j] = i;
-    }
-  }
-  return tree;
+  FlowArena net;
+  net.build(n, agg);
+  return gomory_hu_from_arena(net);
 }
 
 }  // namespace dp

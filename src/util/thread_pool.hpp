@@ -62,4 +62,29 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Run fn(chunk, lo, hi) over fixed-grain chunks of [begin, end), inline
+/// when no pool is available or the range is a single chunk. Chunk
+/// boundaries depend only on `grain`, so serial and parallel execution
+/// produce identical chunk decompositions (and therefore identical
+/// chunk-ordered reductions) — the determinism contract shared by the
+/// oracle sweeps, DualState::lambda and the solver's covering_us pass.
+template <typename Fn>
+void run_chunks(ThreadPool* pool, std::size_t begin, std::size_t end,
+                std::size_t grain, const Fn& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || end - begin <= grain) {
+    const std::size_t chunks = (end - begin + grain - 1) / grain;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * grain;
+      fn(c, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  pool->parallel_chunks(begin, end, grain,
+                        [&fn](std::size_t c, std::size_t lo, std::size_t hi) {
+                          fn(c, lo, hi);
+                        });
+}
+
 }  // namespace dp

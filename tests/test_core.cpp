@@ -207,6 +207,40 @@ TEST(OddSetSeparation, DisjointFamily) {
   }
 }
 
+TEST(OddSetSeparation, SeparatorReuseMatchesFreeFunction) {
+  // One OddSetSeparator reused across many instances must behave exactly
+  // like a fresh one every time: the touched-entry resets restore the
+  // rest state, on both the exact (arena) and heuristic paths.
+  Rng rng(7);
+  OddSetSeparator sep;
+  for (int inst = 0; inst < 24; ++inst) {
+    const std::size_t n = 12 + rng.uniform(40);
+    const std::size_t m = 10 + rng.uniform(60);
+    std::vector<OddSetQueryEdge> q;
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto u = static_cast<Vertex>(rng.uniform(n));
+      const auto v = static_cast<Vertex>(rng.uniform(n));
+      if (u == v) continue;
+      q.push_back(OddSetQueryEdge{u, v, rng.uniform_real(0.1, 3.0)});
+    }
+    if (q.empty()) continue;
+    std::vector<double> q_hat(n, 0.1);
+    for (const auto& qe : q) {
+      q_hat[qe.u] += qe.q;
+      q_hat[qe.v] += qe.q;
+    }
+    for (auto& value : q_hat) value *= rng.uniform_real(1.0, 1.3);
+    OddSetOptions opt;
+    opt.eps = 0.2 + 0.05 * (inst % 3);
+    if (inst % 2 == 1) opt.gomory_hu_limit = 1;  // heuristic path
+    const auto reused =
+        sep.find(n, q, q_hat, Capacities::unit(n), opt);
+    const auto fresh =
+        find_dense_odd_sets(n, q, q_hat, Capacities::unit(n), opt);
+    EXPECT_EQ(reused, fresh) << "instance " << inst;
+  }
+}
+
 TEST(OddSetSeparation, HeuristicModeSmoke) {
   // Force the heuristic path with a tiny gomory_hu_limit.
   const std::size_t n = 9;

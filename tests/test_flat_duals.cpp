@@ -290,6 +290,122 @@ TEST(OracleDeterminism, ResultsIndependentOfThreadCount) {
   }
 }
 
+/// Planted instance whose MicroOracle output is a family of odd-set duals:
+/// disjoint triangles on geometrically spaced weight levels, uniform
+/// stored multipliers, no packing pressure, and a budget beta inside the
+/// window where Case B (odd-set duals) fires on every separated level.
+OracleInstance make_triangle_instance() {
+  OracleInstance inst;
+  const int K = 6;
+  inst.g = std::make_unique<Graph>(3 * K);
+  for (int t = 0; t < K; ++t) {
+    const auto base = static_cast<Vertex>(3 * t);
+    const double w = std::pow(1.9, t);
+    inst.g->add_edge(base, base + 1u, w);
+    inst.g->add_edge(base + 1u, base + 2u, w);
+    inst.g->add_edge(base, base + 2u, w);
+  }
+  inst.b = Capacities::unit(3 * K);
+  inst.lg = std::make_unique<LevelGraph>(*inst.g, inst.b, 0.2);
+  double gamma = 0;
+  for (EdgeId e : inst.lg->retained()) {
+    inst.us.push_back(StoredMultiplier{e, 1.0});
+    gamma += inst.lg->level_weight(inst.lg->level(e));
+  }
+  inst.beta = 0.45 * gamma;
+  return inst;
+}
+
+TEST(OracleDeterminism, OddSetSeparationIdenticalFor1_2_8Threads) {
+  const OracleInstance inst = make_triangle_instance();
+  std::vector<MicroResult> results;
+  for (const std::size_t threads : {1, 2, 8}) {
+    OracleConfig config;
+    config.odd.eps = 0.2;
+    config.threads = threads;
+    config.parallel_grain = 4;  // force many chunks
+    const MicroOracle oracle(*inst.lg, inst.b, config);
+    results.push_back(oracle.run(inst.us, inst.zeta, inst.beta, 1.0));
+  }
+  // The instance must actually exercise the odd-set phase (several
+  // separated levels, several sets each), or this test proves nothing.
+  ASSERT_EQ(results[0].kind, MicroResult::Kind::kDual);
+  ASSERT_GE(results[0].x.odd_sets.size(), 6u);
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    ASSERT_EQ(results[r].kind, results[0].kind) << "thread variant " << r;
+    EXPECT_EQ(results[r].gamma, results[0].gamma);
+    EXPECT_TRUE(results[r].x.xik == results[0].x.xik);
+    ASSERT_EQ(results[r].x.odd_sets.size(), results[0].x.odd_sets.size());
+    for (std::size_t v = 0; v < results[0].x.odd_sets.size(); ++v) {
+      EXPECT_EQ(results[r].x.odd_sets[v].level,
+                results[0].x.odd_sets[v].level);
+      EXPECT_EQ(results[r].x.odd_sets[v].members,
+                results[0].x.odd_sets[v].members);
+      EXPECT_EQ(results[r].x.odd_sets[v].value,
+                results[0].x.odd_sets[v].value);
+    }
+  }
+  // Same contract through the Lagrangian wrapper and its separation cache.
+  std::vector<MicroResult> lagrangian;
+  for (const std::size_t threads : {1, 2, 8}) {
+    OracleConfig config;
+    config.odd.eps = 0.2;
+    config.threads = threads;
+    config.parallel_grain = 4;
+    const MicroOracle oracle(*inst.lg, inst.b, config);
+    lagrangian.push_back(
+        oracle.run_lagrangian(inst.us, inst.zeta, inst.beta));
+  }
+  for (std::size_t r = 1; r < lagrangian.size(); ++r) {
+    ASSERT_EQ(lagrangian[r].kind, lagrangian[0].kind);
+    EXPECT_TRUE(lagrangian[r].x.xik == lagrangian[0].x.xik);
+    ASSERT_EQ(lagrangian[r].x.odd_sets.size(),
+              lagrangian[0].x.odd_sets.size());
+    for (std::size_t v = 0; v < lagrangian[0].x.odd_sets.size(); ++v) {
+      EXPECT_EQ(lagrangian[r].x.odd_sets[v].members,
+                lagrangian[0].x.odd_sets[v].members);
+      EXPECT_EQ(lagrangian[r].x.odd_sets[v].value,
+                lagrangian[0].x.odd_sets[v].value);
+    }
+  }
+}
+
+TEST(DualStateFlat, LambdaParallelMatchesSerialBitwise) {
+  const OracleInstance inst = make_instance(41, false);
+  const std::size_t n = inst.g->num_vertices();
+  const int L = inst.lg->num_levels();
+  DualState state(n, L);
+  Rng rng(91);
+  bool first = true;
+  for (int round = 0; round < 5; ++round) {
+    DualPoint p;
+    std::uint64_t key = rng.uniform(3);
+    while (key < n * static_cast<std::size_t>(L)) {
+      p.xik.append(key, rng.uniform_real(0.05, 1.5));
+      key += 1 + rng.uniform(static_cast<std::size_t>(2 * L));
+    }
+    OddSetVar var;
+    var.level = static_cast<int>(rng.uniform(static_cast<std::size_t>(L)));
+    const auto v0 = static_cast<Vertex>(rng.uniform(n - 3));
+    var.members = {v0, v0 + 1u, v0 + 2u};
+    var.value = rng.uniform_real(0.1, 1.0);
+    p.odd_sets.push_back(var);
+    if (first) {
+      state.assign(p);
+      first = false;
+    } else {
+      state.blend(p, 0.3);
+    }
+  }
+  const double serial = state.lambda(*inst.lg);
+  ThreadPool pool(4);
+  // min-reductions over fixed chunks are exact: any pool size and any
+  // grain must reproduce the serial value bitwise.
+  for (const std::size_t grain : {1, 7, 64, 4096}) {
+    EXPECT_EQ(serial, state.lambda(*inst.lg, &pool, grain));
+  }
+}
+
 TEST(DualStateFlat, BlendMatchesNaiveModel) {
   // Blend random sparse points into DualState and mirror the arithmetic
   // with a naive dense model (no scale trick): x must agree to fp noise.
