@@ -21,9 +21,10 @@ int main() {
   std::vector<double> ms, secs;
   const std::size_t n = 600;
 
-  // Determinism gate: the certified ratio must be bitwise identical across
-  // thread counts (the fixed-chunk contract of the oracle sweeps, lambda
-  // and covering_us).
+  // Determinism gate: the certified ratio AND the per-round stored-edge
+  // counts must be bitwise identical across thread counts (the fixed-chunk
+  // contract of the oracle sweeps, lambda, covering_us, and the batched
+  // sampling engine's counter-based draws).
   {
     Graph g = gen::gnm(n, 3000, 3001);
     gen::weight_uniform(g, 1.0, 16.0, 3002);
@@ -34,10 +35,16 @@ int main() {
     opts.max_outer_rounds = 2;
     opts.sparsifiers_per_round = 2;
     double ratio[3];
+    std::vector<std::size_t> stored[3];
     std::size_t slot = 0;
-    for (std::size_t threads : {1, 2, 4}) {
+    for (std::size_t threads : {1, 2, 8}) {
       opts.oracle.threads = threads;
-      ratio[slot++] = core::solve_matching(g, opts).certified_ratio;
+      const auto result = core::solve_matching(g, opts);
+      ratio[slot] = result.certified_ratio;
+      for (const auto& rs : result.history) {
+        stored[slot].push_back(rs.stored_edges);
+      }
+      ++slot;
     }
     if (ratio[0] != ratio[1] || ratio[0] != ratio[2]) {
       std::fprintf(stderr,
@@ -46,8 +53,14 @@ int main() {
                    ratio[0], ratio[1], ratio[2]);
       return 1;
     }
-    std::printf("determinism: certified ratio bitwise stable for "
-                "1/2/4 threads (%.6f)\n\n", ratio[0]);
+    if (stored[0] != stored[1] || stored[0] != stored[2]) {
+      std::fprintf(stderr,
+                   "FATAL: per-round stored-edge counts vary with thread "
+                   "count\n");
+      return 1;
+    }
+    std::printf("determinism: certified ratio and stored-edge counts "
+                "bitwise stable for 1/2/8 threads (%.6f)\n\n", ratio[0]);
   }
   for (std::size_t m : {3000, 6000, 12000, 24000}) {
     Graph g = gen::gnm(n, m, m + 1);

@@ -3,13 +3,70 @@
 // then uses them in O(log n) data-free steps. Expected shape: success on
 // every instance, use_steps ~ log2(n), sampling_rounds = 1.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
+#include "sketch/l0sampler.hpp"
 #include "sketch/spanning_forest.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// Micro gate for L0Sampler::update_batch: the batched path must produce a
+/// bit-identical sketch and must not run slower than per-item updates
+/// (rep-major hashing is the whole point). Returns false on violation.
+bool update_batch_gate(dp::bench::BenchReport& report) {
+  using namespace dp;
+  Rng rng(71);
+  const L0SamplerSeed seed(20, 8, rng);
+  const std::size_t updates = 20000;
+  std::vector<SketchUpdate> items(updates);
+  for (std::size_t i = 0; i < updates; ++i) {
+    items[i] = SketchUpdate{rng.uniform(1u << 20),
+                            rng.bernoulli(0.5) ? +1 : -1};
+  }
+
+  L0Sampler item_sampler(seed);
+  L0Sampler batch_sampler(seed);
+  double item_seconds = 1e300;
+  double batch_seconds = 1e300;
+  for (int rep = 0; rep < 5; ++rep) {
+    WallTimer timer;
+    for (const SketchUpdate& u : items) {
+      item_sampler.update(u.index, u.delta);
+    }
+    item_seconds = std::min(item_seconds, timer.seconds());
+    timer.restart();
+    batch_sampler.update_batch(items);
+    batch_seconds = std::min(batch_seconds, timer.seconds());
+  }
+  const bool identical = item_sampler == batch_sampler;
+  const double speedup = item_seconds / batch_seconds;
+  std::printf("\nupdate_batch micro: %zu updates, per-item %.6fs, "
+              "batch %.6fs, speedup %.2fx, state %s\n",
+              updates, item_seconds, batch_seconds, speedup,
+              identical ? "identical" : "DIVERGED");
+  report.add({static_cast<double>(updates), item_seconds, batch_seconds,
+              speedup});
+  if (!identical) {
+    std::fprintf(stderr, "FATAL: update_batch state differs from per-item "
+                         "updates\n");
+    return false;
+  }
+  if (speedup < 0.9) {
+    std::fprintf(stderr, "FATAL: update_batch slower than per-item updates "
+                         "(%.2fx)\n", speedup);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 int main() {
   using namespace dp;
@@ -50,5 +107,9 @@ int main() {
                 static_cast<double>(result.use_steps),
                 std::log2(static_cast<double>(n))});
   }
-  return 0;
+
+  bench::BenchReport batch_report(
+      "sketch_batch", {"updates", "item_seconds", "batch_seconds",
+                       "speedup"});
+  return update_batch_gate(batch_report) ? 0 : 1;
 }

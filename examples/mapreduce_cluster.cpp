@@ -6,13 +6,17 @@
 // with zero further passes, and the dual-primal matcher runs under a
 // reducer-memory cap that would reject any algorithm storing all edges.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <mutex>
 
+#include "core/sampling.hpp"
 #include "core/solver.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
 #include "mapreduce/mapreduce.hpp"
+#include "sketch/l0sampler.hpp"
 #include "sketch/spanning_forest.hpp"
 
 int main() {
@@ -36,23 +40,64 @@ int main() {
     edge_records.push_back({g.edge(e).u, e});
     edge_records.push_back({g.edge(e).v, e});
   }
+  dp::Rng sketch_rng(33);
+  const dp::L0SamplerSeed sketch_seed(2 * 10, 6, sketch_rng);
   std::size_t max_reducer_load = 0;
+  std::size_t sketch_words = 0;
+  std::mutex reducer_mutex;
   sim.round(
       edge_records,
       [](const std::vector<KeyValue>& shard, std::vector<KeyValue>& emit) {
         for (const KeyValue& kv : shard) emit.push_back(kv);
       },
-      [&](std::uint64_t, const std::vector<std::uint64_t>& values,
+      [&](std::uint64_t vertex, const std::vector<std::uint64_t>& values,
           std::vector<KeyValue>& emit) {
-        // Each reducer would build this vertex's sketch here; we record the
-        // load (= degree) to show per-machine memory is sublinear.
-        if (values.size() > max_reducer_load) {
-          max_reducer_load = values.size();
+        // Each reducer owns one vertex: build its l0 incidence sketch from
+        // the whole delivered batch in ONE update_batch call (rep-major
+        // hashing + shared z-power tables across the vertex's edges).
+        std::vector<dp::SketchUpdate> updates;
+        updates.reserve(values.size());
+        for (std::uint64_t e : values) {
+          const dp::Edge& edge = g.edge(static_cast<dp::EdgeId>(e));
+          const dp::Vertex lo = std::min(edge.u, edge.v);
+          const dp::Vertex hi = std::max(edge.u, edge.v);
+          const std::uint64_t index =
+              static_cast<std::uint64_t>(lo) * n + hi;
+          updates.push_back(
+              dp::SketchUpdate{index, vertex == lo ? +1 : -1});
+        }
+        dp::L0Sampler sketch(sketch_seed);
+        sketch.update_batch(updates);
+        {
+          const std::lock_guard<std::mutex> lock(reducer_mutex);
+          max_reducer_load = std::max(max_reducer_load, values.size());
+          sketch_words += sketch.words();
         }
         emit.push_back({0, values.size()});
       });
   std::cout << "mapreduce: " << mr_meter.summary()
-            << " max_reducer_load=" << max_reducer_load << "\n";
+            << " max_reducer_load=" << max_reducer_load
+            << " sketch_words=" << sketch_words << "\n";
+
+  // ---- One deferred-sampling round as a MapReduce round: the mappers
+  // evaluate the same counter-based masks the in-memory engine sweeps, so
+  // the stored sparsifiers agree bitwise with the solver's. ----
+  {
+    std::vector<double> prob(g.num_edges(), 0.25);
+    const auto supports =
+        dp::mapreduce::sample_round(sim, prob, /*t=*/4, /*round=*/1,
+                                    /*seed=*/77, &mr_meter);
+    dp::core::SamplingEngine engine;
+    engine.draw(prob, 4, 1, 77);
+    bool agree = true;
+    for (std::size_t q = 0; q < supports.size(); ++q) {
+      agree = agree && supports[q] == engine.last_round().sparsifier(q);
+    }
+    std::cout << "mapreduce sampling round: t=4 supports "
+              << (agree ? "match" : "DIVERGE")
+              << " the in-memory engine, stored="
+              << engine.last_round().stored_total() << "\n";
+  }
 
   // ---- Sketch-based connectivity (1 sampling round, log n uses). ----
   dp::ResourceMeter sketch_meter;

@@ -72,6 +72,10 @@ def main():
                              "(default 0.10 = 10%%)")
     parser.add_argument("--no-fail", action="store_true",
                         help="always exit 0, report only")
+    parser.add_argument("--columns", default=None,
+                        help="comma-separated list of metric columns to "
+                             "compare (default: all); useful in CI to gate "
+                             "only machine-relative metrics like 'speedup'")
     args = parser.parse_args()
 
     base = load(args.baseline)
@@ -79,13 +83,27 @@ def main():
     if base["bench"] != cand["bench"]:
         print(f"warning: comparing different benches "
               f"('{base['bench']}' vs '{cand['bench']}')")
-    if base["columns"] != cand["columns"]:
-        print("error: column sets differ; cannot compare")
-        print(f"  baseline:  {base['columns']}")
-        print(f"  candidate: {cand['columns']}")
-        return 0 if args.no_fail else 1
 
-    columns = base["columns"]
+    # A metric present in only one snapshot is reported as added/removed
+    # (not an error): the common columns still compare, matched by name.
+    base_idx = {col: c for c, col in enumerate(base["columns"])}
+    cand_idx = {col: c for c, col in enumerate(cand["columns"])}
+    removed = [col for col in base["columns"] if col not in cand_idx]
+    added = [col for col in cand["columns"] if col not in base_idx]
+    for col in removed:
+        print(f"removed: [{base['bench']}] column '{col}' is only in the "
+              f"baseline; skipping it")
+    for col in added:
+        print(f"added: [{base['bench']}] column '{col}' is only in the "
+              f"candidate; skipping it")
+    columns = [col for col in base["columns"] if col in cand_idx]
+    if args.columns is not None:
+        wanted = {c.strip() for c in args.columns.split(",") if c.strip()}
+        columns = [col for col in columns
+                   if col in wanted or direction(col) == 0]
+    if not columns:
+        print("warning: no common columns; nothing to compare")
+
     rows = min(len(base["rows"]), len(cand["rows"]))
     if len(base["rows"]) != len(cand["rows"]):
         print(f"warning: row counts differ "
@@ -97,13 +115,14 @@ def main():
     for r in range(rows):
         brow, crow = base["rows"][r], cand["rows"][r]
         key = ", ".join(
-            f"{col}={brow[c]:g}" for c, col in enumerate(columns)
-            if direction(col) == 0 and c < len(brow))
-        for c, col in enumerate(columns):
+            f"{col}={brow[base_idx[col]]:g}" for col in columns
+            if direction(col) == 0 and base_idx[col] < len(brow))
+        for col in columns:
             sense = direction(col)
-            if sense == 0 or c >= len(brow) or c >= len(crow):
+            bc, cc = base_idx[col], cand_idx[col]
+            if sense == 0 or bc >= len(brow) or cc >= len(crow):
                 continue
-            old, new = brow[c], crow[c]
+            old, new = brow[bc], crow[cc]
             if old == 0:
                 continue
             change = (new - old) / abs(old)

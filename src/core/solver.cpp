@@ -5,6 +5,7 @@
 
 #include "core/certificate.hpp"
 #include "core/initial.hpp"
+#include "core/sampling.hpp"
 #include "matching/greedy.hpp"
 #include "sparsify/deferred.hpp"
 #include "util/log.hpp"
@@ -176,6 +177,7 @@ SolverResult Solver::solve() {
         std::ceil(std::max(1.0, std::log(gamma)) / eps));
     t = std::clamp<std::size_t>(t, 2, 24);
   }
+  t = std::min(t, kMaxSparsifiersPerRound);
   std::size_t max_rounds = options_.max_outer_rounds;
   if (max_rounds == 0) {
     max_rounds =
@@ -206,6 +208,15 @@ SolverResult Solver::solve() {
   retained_edges.reserve(retained.size());
   for (EdgeId e : retained) retained_edges.push_back(g.edge(e));
 
+  // Batched sampling engine (core/sampling): all t per-round sparsifiers
+  // draw in one chunk-parallel sweep from counter-based randomness, so the
+  // stored sets are bitwise identical for any thread count and for any
+  // access substrate. The seed stream is decoupled from `rng` — draws are
+  // pure functions of (seed, round, q, edge), never of draw order.
+  SamplingEngine sampler(pool, grain);
+  const CounterRng sample_rng(
+      mix_combine(options_.seed, 0x5a3b'11ce'0fda'7001ULL));
+
   const int levels = lg.num_levels();
   for (std::size_t round = 0; round < max_rounds; ++round) {
     // lambda and early stopping (Corollary 6's certificate).
@@ -229,53 +240,46 @@ SolverResult Solver::solve() {
     // Promise multipliers over every retained edge; ONE access round.
     const std::vector<double> promise =
         covering_us(state, lg, retained, alpha, pool, grain);
-    const std::vector<double> prob = deferred_probabilities(
-        g.num_vertices(), retained_edges, promise, dopt, rng.next());
-    result.meter.add_round();
-    result.meter.add_pass();
+    const std::vector<double>& prob =
+        sampler.probabilities(g.num_vertices(), retained_edges, promise,
+                              dopt, sample_rng.bits(round, 1));
 
-    // Draw t independent deferred sparsifiers.
-    std::vector<std::vector<std::size_t>> stored(t);
-    std::size_t stored_total = 0;
-    for (std::size_t q = 0; q < t; ++q) {
-      for (std::size_t idx = 0; idx < retained.size(); ++idx) {
-        if (prob[idx] > 0 &&
-            (prob[idx] >= 1.0 || rng.bernoulli(prob[idx]))) {
-          stored[q].push_back(idx);
-        }
-      }
-      stored_total += stored[q].size();
-    }
-    result.meter.store_edges(stored_total);
+    // Draw all t deferred sparsifiers in one batched sweep (meters the
+    // round, the pass and the stored incidences).
+    const SamplingRound& draws =
+        sampler.draw(prob, t, round, sample_rng.seed(), &result.meter);
+    const std::size_t stored_total = draws.stored_total();
 
     // Offline solve on the union (Algorithm 2 step 5).
     {
-      std::vector<char> in_union(retained.size(), 0);
-      for (const auto& s : stored) {
-        for (std::size_t idx : s) in_union[idx] = 1;
-      }
       std::vector<EdgeId> support;
-      for (std::size_t idx = 0; idx < retained.size(); ++idx) {
-        if (in_union[idx]) support.push_back(retained[idx]);
+      support.reserve(draws.union_support().size());
+      for (std::uint32_t idx : draws.union_support()) {
+        support.push_back(retained[idx]);
       }
       consider(offline_solve(g, b_, unit_caps, support, options_.offline));
     }
 
     // Inner multiplicative-weight iterations on the stored samples.
     std::size_t round_oracle_calls = 0;
+    std::vector<EdgeId> ids;
+    std::vector<double> sample_prob;
     for (std::size_t q = 0; q < t; ++q) {
-      if (stored[q].empty()) continue;
       // Deferred refinement: evaluate the CURRENT multipliers on exactly
-      // the stored indices (no new data access).
-      std::vector<EdgeId> ids;
-      ids.reserve(stored[q].size());
-      for (std::size_t idx : stored[q]) ids.push_back(retained[idx]);
+      // the stored indices (no new data access). Sparsifier q's support is
+      // a bit-filtered walk of the round's union — never materialized.
+      ids.clear();
+      sample_prob.clear();
+      draws.for_each_stored(q, [&](std::uint32_t idx) {
+        ids.push_back(retained[idx]);
+        sample_prob.push_back(prob[idx]);
+      });
+      if (ids.empty()) continue;
       const std::vector<double> u_now =
           covering_us(state, lg, ids, alpha, pool, grain);
       std::vector<StoredMultiplier> us(ids.size());
       for (std::size_t i = 0; i < ids.size(); ++i) {
-        us[i] = StoredMultiplier{ids[i],
-                                 u_now[i] / prob[stored[q][i]]};
+        us[i] = StoredMultiplier{ids[i], u_now[i] / sample_prob[i]};
       }
 
       // zeta: packing multipliers on the active outer rows (i, k), built

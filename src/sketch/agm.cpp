@@ -7,12 +7,27 @@ AgmSketch::AgmSketch(const Graph& g, const L0SamplerSeed& seed,
     : n_(g.num_vertices()) {
   per_vertex_.reserve(n_);
   for (std::size_t v = 0; v < n_; ++v) per_vertex_.emplace_back(seed);
+  // Group the incidence updates by vertex (CSR) and apply one batch per
+  // vertex: update_batch hashes each rep's family once across the vertex's
+  // whole incidence list while that vertex's cells stay cache-resident.
+  std::vector<std::uint32_t> offset(n_ + 1, 0);
+  for (const Edge& e : g.edges()) {
+    ++offset[e.u + 1];
+    ++offset[e.v + 1];
+  }
+  for (std::size_t v = 0; v < n_; ++v) offset[v + 1] += offset[v];
+  std::vector<SketchUpdate> updates(offset[n_]);
+  std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
   for (const Edge& e : g.edges()) {
     const Vertex lo = e.u < e.v ? e.u : e.v;
     const Vertex hi = e.u < e.v ? e.v : e.u;
     const std::uint64_t index = static_cast<std::uint64_t>(lo) * n_ + hi;
-    per_vertex_[lo].update(index, +1);
-    per_vertex_[hi].update(index, -1);
+    updates[cursor[lo]++] = SketchUpdate{index, +1};
+    updates[cursor[hi]++] = SketchUpdate{index, -1};
+  }
+  for (std::size_t v = 0; v < n_; ++v) {
+    per_vertex_[v].update_batch(
+        {updates.data() + offset[v], updates.data() + offset[v + 1]});
   }
   if (meter != nullptr) meter->add_sketch_words(words());
 }

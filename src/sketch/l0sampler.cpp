@@ -38,6 +38,39 @@ void L0Sampler::update(std::uint64_t index, std::int64_t delta) noexcept {
   }
 }
 
+void L0Sampler::update_batch(std::span<const SketchUpdate> items) noexcept {
+  // Rep-major over cache-resident item blocks. Per rep, the block hashes
+  // once through KWiseHash::many (interleaved Horner chains), then each
+  // subsampling level receives its qualifying updates as ONE
+  // OneSparse::update_many call — which replaces the per-update modular
+  // exponentiation (the dominant cost) with a shared z-power table and
+  // pipelined bit-product chains. Final state is bit-identical to calling
+  // update() per item (every accumulator commutes).
+  constexpr std::size_t kBlock = 256;
+  std::uint64_t xs[kBlock];
+  std::uint64_t hs[kBlock];
+  SketchUpdate level_items[kBlock];
+  for (std::size_t lo = 0; lo < items.size(); lo += kBlock) {
+    const std::size_t len = std::min(kBlock, items.size() - lo);
+    for (std::size_t i = 0; i < len; ++i) xs[i] = items[lo + i].index;
+    for (int r = 0; r < seed_->reps; ++r) {
+      seed_->level_hash[r].many(xs, len, hs);
+      OneSparse* row = cells_.data() + static_cast<std::size_t>(r) *
+                                           seed_->levels;
+      std::uint64_t threshold = MersenneField::kPrime;
+      for (int l = 0; l < seed_->levels; ++l) {
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+          if (hs[i] < threshold) level_items[count++] = items[lo + i];
+        }
+        if (count == 0) break;  // deeper levels only shrink
+        row[l].update_many(level_items, count);
+        threshold >>= 1;
+      }
+    }
+  }
+}
+
 void L0Sampler::merge(const L0Sampler& other) noexcept {
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     cells_[i].merge(other.cells_[i]);

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sketch/onesparse.hpp"
@@ -41,8 +42,20 @@ class L0Sampler {
   /// vector[index] += delta.
   void update(std::uint64_t index, std::int64_t delta) noexcept;
 
+  /// Batched update, equivalent to update() per item but iterating the
+  /// (rep) hash families in the OUTER loop: each family's coefficients are
+  /// loaded once for the whole batch and the rep's cell row stays
+  /// cache-resident, instead of touching all reps * levels cells per item.
+  void update_batch(std::span<const SketchUpdate> items) noexcept;
+
   /// Merge a sampler built from the same seed.
   void merge(const L0Sampler& other) noexcept;
+
+  /// Exact sketch-state equality (same seed assumed); lets tests and the
+  /// bench gate assert update_batch == per-item updates bit-for-bit.
+  friend bool operator==(const L0Sampler& a, const L0Sampler& b) noexcept {
+    return a.cells_ == b.cells_;
+  }
 
   /// A nonzero coordinate of the summed vector, or nullopt if recovery
   /// failed (all levels collided) or the vector is zero.

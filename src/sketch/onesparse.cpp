@@ -33,6 +33,48 @@ void OneSparse::update(std::uint64_t index, std::int64_t delta) noexcept {
   fp_ = MersenneField::add(fp_, term);
 }
 
+void OneSparse::update_many(const SketchUpdate* items, std::size_t n) noexcept {
+  if (n == 0) return;
+  std::uint64_t index_bits = 0;
+  for (std::size_t i = 0; i < n; ++i) index_bits |= items[i].index;
+  const int bits = index_bits == 0
+                       ? 0
+                       : 64 - __builtin_clzll(index_bits);
+  // z^(2^k) table shared by the whole batch: per update the exponentiation
+  // becomes a product over the index's set bits instead of a square-and-
+  // multiply chain.
+  std::uint64_t sq[64];
+  std::uint64_t base = MersenneField::reduce(z_);
+  for (int k = 0; k < bits; ++k) {
+    sq[k] = base;
+    base = MersenneField::mul(base, base);
+  }
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint64_t i0 = items[i].index;
+    const std::uint64_t i1 = items[i + 1].index;
+    const std::uint64_t i2 = items[i + 2].index;
+    const std::uint64_t i3 = items[i + 3].index;
+    std::uint64_t a0 = 1, a1 = 1, a2 = 1, a3 = 1;
+    for (int k = 0; k < bits; ++k) {
+      const std::uint64_t zk = sq[k];
+      a0 = MersenneField::mul(a0, (i0 >> k) & 1 ? zk : 1);
+      a1 = MersenneField::mul(a1, (i1 >> k) & 1 ? zk : 1);
+      a2 = MersenneField::mul(a2, (i2 >> k) & 1 ? zk : 1);
+      a3 = MersenneField::mul(a3, (i3 >> k) & 1 ? zk : 1);
+    }
+    const std::uint64_t pows[4] = {a0, a1, a2, a3};
+    for (std::size_t j = 0; j < 4; ++j) {
+      const SketchUpdate& item = items[i + j];
+      w_ += item.delta;
+      s_ += static_cast<__int128>(item.index) * item.delta;
+      fp_ = MersenneField::add(
+          fp_, MersenneField::mul(field_of(item.delta), pows[j]));
+    }
+  }
+  for (; i < n; ++i) update(items[i].index, items[i].delta);
+}
+
 void OneSparse::merge(const OneSparse& other) noexcept {
   w_ += other.w_;
   s_ += other.s_;

@@ -7,6 +7,7 @@
 // updates; if the underlying vector is exactly 1-sparse the unique nonzero
 // coordinate can be recovered and verified with high probability.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -19,6 +20,12 @@ struct Recovered {
   std::int64_t count;
 };
 
+/// One batched sketch update: vector[index] += delta.
+struct SketchUpdate {
+  std::uint64_t index;
+  std::int64_t delta;
+};
+
 class OneSparse {
  public:
   /// `z` is the random fingerprint evaluation point (shared across the
@@ -27,6 +34,13 @@ class OneSparse {
 
   /// Apply update vector[index] += delta.
   void update(std::uint64_t index, std::int64_t delta) noexcept;
+
+  /// Apply a batch of updates; final state is identical to updating one by
+  /// one (all the accumulators commute). The z-power table is built once
+  /// for the batch and the fingerprint bit-product chains of four updates
+  /// run interleaved, replacing per-update modular exponentiation — the
+  /// dominant cost of update() — with pipelined table lookups.
+  void update_many(const SketchUpdate* items, std::size_t n) noexcept;
 
   /// Merge another structure built with the same z (linearity).
   void merge(const OneSparse& other) noexcept;
@@ -39,6 +53,9 @@ class OneSparse {
 
   /// Words of state (for congested-clique / sketch-size accounting).
   static constexpr std::size_t kWords = 3;
+
+  /// Exact state equality (batched and per-item update orders must agree).
+  friend bool operator==(const OneSparse&, const OneSparse&) = default;
 
  private:
   std::uint64_t z_;

@@ -2,54 +2,89 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
-#include "sparsify/strength.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp {
 
-std::vector<double> deferred_probabilities(std::size_t n,
-                                           const std::vector<Edge>& edges,
-                                           const std::vector<double>& promise,
-                                           const DeferredOptions& options,
-                                           std::uint64_t seed) {
+void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
+                                 const std::vector<double>& promise,
+                                 const DeferredOptions& options,
+                                 std::uint64_t seed,
+                                 std::vector<double>& prob,
+                                 DeferredScratch& scratch, ThreadPool* pool) {
   if (promise.size() != edges.size()) {
     throw std::invalid_argument("deferred_probabilities: size mismatch");
   }
   if (options.gamma < 1.0) {
     throw std::invalid_argument("deferred_probabilities: gamma must be >= 1");
   }
-  std::vector<double> prob(edges.size(), 0.0);
-  if (edges.empty() || n == 0) return prob;
+  prob.assign(edges.size(), 0.0);
+  if (edges.empty() || n == 0) return;
 
   // Same per-class scheme as cut_sparsify, but probabilities computed from
   // the promise weights and inflated by gamma^2 (Lemma 17: p' computed from
   // sigma times O(chi^2) dominates the exact-weight probability).
-  std::map<int, std::vector<std::size_t>> classes;
+  //
+  // Classes group by one sort of packed (class, edge index) keys instead of
+  // a std::map of vectors; the biased class offset keeps negative classes
+  // ordered below positive ones.
+  scratch.class_keys.clear();
+  scratch.class_keys.reserve(edges.size());
   for (std::size_t e = 0; e < edges.size(); ++e) {
     if (!(promise[e] > 0)) continue;
     const int cls = static_cast<int>(std::floor(std::log2(promise[e])));
-    classes[cls].push_back(e);
+    const auto biased =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(cls) +
+                                   (std::int64_t{1} << 31));
+    scratch.class_keys.push_back((biased << 32) |
+                                 static_cast<std::uint64_t>(e));
   }
+  std::sort(scratch.class_keys.begin(), scratch.class_keys.end());
 
-  Rng rng(seed);
+  const CounterRng rng(seed);
   const double log_n =
       std::log(static_cast<double>(std::max<std::size_t>(n, 3)));
   const double rho = options.sampling_constant * options.gamma *
                      options.gamma * log_n / (options.xi * options.xi);
 
-  for (const auto& [cls, members] : classes) {
-    std::vector<Edge> class_edges;
-    class_edges.reserve(members.size());
-    for (std::size_t e : members) class_edges.push_back(edges[e]);
-    const std::vector<double> strength = estimate_strengths(
-        n, class_edges, rng.next(), options.forests_per_level);
-    for (std::size_t i = 0; i < members.size(); ++i) {
-      prob[members[i]] = std::min(1.0, rho / strength[i]);
+  std::size_t lo = 0;
+  while (lo < scratch.class_keys.size()) {
+    const std::uint64_t cls_bits = scratch.class_keys[lo] >> 32;
+    std::size_t hi = lo;
+    while (hi < scratch.class_keys.size() &&
+           (scratch.class_keys[hi] >> 32) == cls_bits) {
+      ++hi;
     }
+    scratch.class_edges.clear();
+    scratch.class_edges.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      scratch.class_edges.push_back(
+          edges[scratch.class_keys[i] & 0xffffffffULL]);
+    }
+    // Per-class seed is a pure function of (seed, class), so dropping or
+    // adding a class never shifts the draws of the others.
+    estimate_strengths_into(n, scratch.class_edges, rng.bits(cls_bits),
+                            scratch.class_strength, scratch.strength, pool);
+    for (std::size_t i = lo; i < hi; ++i) {
+      prob[scratch.class_keys[i] & 0xffffffffULL] =
+          std::min(1.0, rho / scratch.class_strength[i - lo]);
+    }
+    lo = hi;
   }
+}
+
+std::vector<double> deferred_probabilities(std::size_t n,
+                                           const std::vector<Edge>& edges,
+                                           const std::vector<double>& promise,
+                                           const DeferredOptions& options,
+                                           std::uint64_t seed) {
+  std::vector<double> prob;
+  DeferredScratch scratch;
+  deferred_probabilities_into(n, edges, promise, options, seed, prob,
+                              scratch);
   return prob;
 }
 

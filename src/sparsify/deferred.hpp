@@ -20,9 +20,12 @@
 
 #include "graph/graph.hpp"
 #include "sparsify/cut_sparsifier.hpp"
+#include "sparsify/strength.hpp"
 #include "util/accounting.hpp"
 
 namespace dp {
+
+class ThreadPool;
 
 struct DeferredOptions {
   /// Cut accuracy of the refined sparsifier.
@@ -32,6 +35,15 @@ struct DeferredOptions {
   /// Oversampling constant (multiplies the gamma^2 factor).
   double sampling_constant = 12.0;
   int forests_per_level = 0;
+};
+
+/// Reusable buffers for deferred_probabilities_into: weight-class grouping
+/// plus the strength scratch. One instance serves any sequence of rounds.
+struct DeferredScratch {
+  std::vector<std::uint64_t> class_keys;  // packed (class, edge index)
+  std::vector<Edge> class_edges;          // per-class subgraph, reused
+  std::vector<double> class_strength;     // per-class strengths, reused
+  StrengthScratch strength;
 };
 
 /// Per-edge inclusion probabilities for a deferred sparsifier built from
@@ -44,6 +56,20 @@ std::vector<double> deferred_probabilities(std::size_t n,
                                            const std::vector<double>& promise,
                                            const DeferredOptions& options,
                                            std::uint64_t seed);
+
+/// The sampling engine's path: same probabilities as above, computed into a
+/// caller-owned vector with all working memory in `scratch` (steady-state
+/// rounds allocate nothing). Weight classes group by one sort, per-class
+/// seeds are counter-based (a pure function of (seed, class)), and the
+/// strength estimation inside each class runs its per-level jobs on `pool`
+/// — so the output is bitwise identical for any thread count.
+void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
+                                 const std::vector<double>& promise,
+                                 const DeferredOptions& options,
+                                 std::uint64_t seed,
+                                 std::vector<double>& prob,
+                                 DeferredScratch& scratch,
+                                 ThreadPool* pool = nullptr);
 
 class DeferredSparsifier {
  public:

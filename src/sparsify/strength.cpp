@@ -3,45 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
-#include "graph/union_find.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp {
 
 namespace {
 
-/// Greedy Nagamochi-Ibaraki forest decomposition with nesting: an edge is
-/// placed into the first forest whose components its endpoints straddle.
-/// Connectivity in forest j certifies >= j edge-disjoint-ish connectivity,
-/// so the placement index is a per-edge strength certificate. The forests
-/// are nested (connected in F_j implies connected in F_{j-1}), which makes
-/// the placement search a binary search.
-class ForestPacker {
- public:
-  explicit ForestPacker(std::size_t n) : n_(n) {}
+int subsample_levels(std::size_t m) {
+  return 1 +
+         static_cast<int>(std::ceil(std::log2(static_cast<double>(m) + 1)));
+}
 
-  /// Insert edge (u, v); returns its (1-based) placement index.
-  std::size_t insert(std::uint32_t u, std::uint32_t v) {
-    // Binary search the first forest where u and v are disconnected.
-    std::size_t lo = 0;              // invariant: connected in all < lo
-    std::size_t hi = forests_.size();  // disconnected somewhere in [lo, hi]
-    while (lo < hi) {
-      const std::size_t mid = (lo + hi) / 2;
-      if (forests_[mid].connected(u, v)) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-    }
-    if (lo == forests_.size()) forests_.emplace_back(n_);
-    forests_[lo].unite(u, v);
-    return lo + 1;
-  }
-
- private:
-  std::size_t n_;
-  std::vector<UnionFind> forests_;
-};
+/// A level-i certificate j * 2^i is only statistically meaningful when the
+/// placement index j is at least ~log n (the k-connectivity requirement of
+/// the original construction); below that, mere survival of the
+/// subsampling would inflate weak edges (a bridge that survives 3 halvings
+/// is still a bridge).
+std::size_t strength_k_min(std::size_t n) {
+  return std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::ceil(std::log2(static_cast<double>(n) + 2))));
+}
 
 }  // namespace
 
@@ -55,8 +38,7 @@ std::vector<double> estimate_strengths(std::size_t n,
   std::vector<double> strength(m, 1.0);
   if (m == 0 || n == 0) return strength;
 
-  const int levels =
-      1 + static_cast<int>(std::ceil(std::log2(static_cast<double>(m) + 1)));
+  const int levels = subsample_levels(m);
 
   // Nested subsamples: edge e belongs to levels 0..level_cap[e]; surviving
   // i halvings with placement index j certifies strength ~ j * 2^i.
@@ -66,16 +48,10 @@ std::vector<double> estimate_strengths(std::size_t n,
     level_cap[e] = std::min(levels - 1, rng.coin_flips_until_tail());
   }
 
-  // A level-i certificate j * 2^i is only statistically meaningful when the
-  // placement index j is at least ~log n (the k-connectivity requirement of
-  // the original construction); below that, mere survival of the
-  // subsampling would inflate weak edges (a bridge that survives 3 halvings
-  // is still a bridge).
-  const std::size_t k_min = std::max<std::size_t>(
-      2, static_cast<std::size_t>(
-             std::ceil(std::log2(static_cast<double>(n) + 2))));
+  const std::size_t k_min = strength_k_min(n);
+  detail::ForestPacker packer;
   for (int i = 0; i < levels; ++i) {
-    ForestPacker packer(n);
+    packer.reset(n);
     bool level_nonempty = false;
     const double scale = std::pow(2.0, i);
     for (std::size_t e = 0; e < m; ++e) {
@@ -92,6 +68,92 @@ std::vector<double> estimate_strengths(std::size_t n,
     if (!level_nonempty) break;
   }
   return strength;
+}
+
+void estimate_strengths_into(std::size_t n, const std::vector<Edge>& edges,
+                             std::uint64_t seed,
+                             std::vector<double>& strength,
+                             StrengthScratch& scratch, ThreadPool* pool) {
+  const std::size_t m = edges.size();
+  strength.assign(m, 1.0);
+  if (m == 0 || n == 0) return;
+
+  const auto levels = static_cast<std::size_t>(subsample_levels(m));
+  const std::size_t k_min = strength_k_min(n);
+
+  // Counter-based subsample depths: a pure function of (seed, e), so the
+  // grouping below is independent of evaluation order.
+  const CounterRng rng(seed);
+  scratch.level_cap.resize(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    scratch.level_cap[e] = static_cast<std::uint8_t>(
+        std::min<int>(static_cast<int>(levels) - 1,
+                      rng.coin_flips_until_tail(e, 0)));
+  }
+
+  // CSR of level membership: edge e participates in levels 0..cap[e].
+  scratch.level_offset.assign(levels + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    for (std::size_t i = 0; i <= scratch.level_cap[e]; ++i) {
+      ++scratch.level_offset[i + 1];
+    }
+  }
+  std::size_t used_levels = levels;
+  for (std::size_t i = 0; i < levels; ++i) {
+    if (scratch.level_offset[i + 1] == 0) {
+      used_levels = i;  // nested subsamples: all deeper levels empty too
+      break;
+    }
+    scratch.level_offset[i + 1] += scratch.level_offset[i];
+  }
+  scratch.level_members.resize(scratch.level_offset[used_levels]);
+  scratch.cursor.assign(scratch.level_offset.begin(),
+                        scratch.level_offset.begin() +
+                            static_cast<std::ptrdiff_t>(used_levels));
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::size_t cap =
+        std::min<std::size_t>(scratch.level_cap[e],
+                              used_levels == 0 ? 0 : used_levels - 1);
+    for (std::size_t i = 0; i <= cap && i < used_levels; ++i) {
+      scratch.level_members[scratch.cursor[i]++] = static_cast<std::uint32_t>(e);
+    }
+  }
+
+  // One independent forest-packing job per level, each sequential in edge
+  // order and writing only its own candidate slice — deterministic for any
+  // thread count. Level 0 holds every edge and dominates the critical path.
+  scratch.candidate.resize(scratch.level_members.size());
+  if (scratch.packers.size() < used_levels) {
+    scratch.packers.resize(used_levels);
+  }
+  run_jobs(pool, used_levels, [&](std::size_t i) {
+    detail::ForestPacker& packer = scratch.packers[i];
+    packer.reset(n);
+    const double scale = std::pow(2.0, static_cast<double>(i));
+    for (std::size_t pos = scratch.level_offset[i];
+         pos < scratch.level_offset[i + 1]; ++pos) {
+      const std::uint32_t e = scratch.level_members[pos];
+      const std::size_t j = packer.insert(edges[e].u, edges[e].v);
+      if (i == 0) {
+        scratch.candidate[pos] = static_cast<double>(j);
+      } else {
+        scratch.candidate[pos] =
+            j >= k_min ? static_cast<double>(j) * scale : 0.0;
+      }
+    }
+  });
+
+  // Combine in level order (max is exact, so the order is irrelevant for
+  // the value — it just keeps the pass cache-friendly).
+  for (std::size_t i = 0; i < used_levels; ++i) {
+    for (std::size_t pos = scratch.level_offset[i];
+         pos < scratch.level_offset[i + 1]; ++pos) {
+      const std::uint32_t e = scratch.level_members[pos];
+      if (scratch.candidate[pos] > strength[e]) {
+        strength[e] = scratch.candidate[pos];
+      }
+    }
+  }
 }
 
 }  // namespace dp

@@ -9,13 +9,89 @@
 // edge-disjoint-ish connectivity there, certifying strength ~ k * 2^i.
 // Sampling each edge with probability ~ rho / strength then preserves all
 // cuts within 1 +- xi whp (Benczur-Karger).
+//
+// Two entry points:
+//  - estimate_strengths: the original sequential path (stateful Rng draws in
+//    edge order). Kept stable for the offline cut sparsifier and tests.
+//  - estimate_strengths_into: the sampling engine's path. Subsample depths
+//    come from a counter-based RNG (pure function of (seed, edge index)) and
+//    every subsampling level packs its forests as an independent job, so the
+//    output is bitwise identical for any thread count; all buffers live in a
+//    caller-owned StrengthScratch so steady-state rounds allocate nothing.
 
 #include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/union_find.hpp"
 
 namespace dp {
+
+class ThreadPool;
+
+namespace detail {
+
+/// Greedy Nagamochi-Ibaraki forest decomposition with nesting: an edge is
+/// placed into the first forest whose components its endpoints straddle.
+/// Connectivity in forest j certifies >= j edge-disjoint-ish connectivity,
+/// so the placement index is a per-edge strength certificate. The forests
+/// are nested (connected in F_j implies connected in F_{j-1}), which makes
+/// the placement search a binary search. reset() keeps the forest arrays so
+/// a scratch-owned packer reuses its allocations across rounds.
+class ForestPacker {
+ public:
+  ForestPacker() = default;
+  explicit ForestPacker(std::size_t n) { reset(n); }
+
+  void reset(std::size_t n) {
+    n_ = n;
+    for (std::size_t f = 0; f < active_; ++f) forests_[f].reset(n);
+    active_ = 0;
+  }
+
+  /// Insert edge (u, v); returns its (1-based) placement index.
+  std::size_t insert(std::uint32_t u, std::uint32_t v) {
+    // Binary search the first forest where u and v are disconnected.
+    std::size_t lo = 0;        // invariant: connected in all < lo
+    std::size_t hi = active_;  // disconnected somewhere in [lo, hi]
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (forests_[mid].connected(u, v)) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == active_) {
+      if (active_ == forests_.size()) {
+        forests_.emplace_back(n_);
+      } else {
+        forests_[active_].reset(n_);
+      }
+      ++active_;
+    }
+    forests_[lo].unite(u, v);
+    return lo + 1;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t active_ = 0;
+  std::vector<UnionFind> forests_;
+};
+
+}  // namespace detail
+
+/// Reusable buffers for estimate_strengths_into. One scratch serves any
+/// sequence of calls; buffers grow to the high-water mark and stay.
+struct StrengthScratch {
+  std::vector<std::uint8_t> level_cap;       // per edge: deepest level
+  std::vector<std::uint32_t> level_offset;   // CSR offsets, one per level
+  std::vector<std::uint32_t> level_members;  // edge ids grouped by level
+  std::vector<std::uint32_t> cursor;         // fill cursors, one per level
+  std::vector<double> candidate;             // per (level, member) strength
+  std::vector<detail::ForestPacker> packers;  // one per level job
+};
 
 /// strength[e] >= 1 for every edge; larger = better connected.
 /// Runs in O(m log m alpha(n)) time and is deterministic in `seed`.
@@ -23,5 +99,15 @@ std::vector<double> estimate_strengths(std::size_t n,
                                        const std::vector<Edge>& edges,
                                        std::uint64_t seed,
                                        int forests_per_level = 0);
+
+/// Deterministic parallel strength estimation into a caller-owned output
+/// (resized to edges.size()). Subsample depths are counter-based draws and
+/// the per-level forest packings run as independent jobs on `pool`, so the
+/// result depends only on (n, edges, seed) — never on the thread count.
+void estimate_strengths_into(std::size_t n, const std::vector<Edge>& edges,
+                             std::uint64_t seed,
+                             std::vector<double>& strength,
+                             StrengthScratch& scratch,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace dp

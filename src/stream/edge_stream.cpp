@@ -1,24 +1,32 @@
 #include "stream/edge_stream.hpp"
 
 #include <numeric>
-#include <vector>
+
+#include "util/rng.hpp"
 
 namespace dp {
 
 void EdgeStream::for_each_pass(
     const std::function<void(const Edge&)>& fn) const {
-  if (meter_ != nullptr) meter_->add_pass();
-  for (const Edge& e : graph_->edges()) fn(e);
+  for_each_pass<const std::function<void(const Edge&)>&>(fn);
 }
 
 void EdgeStream::for_each_pass_shuffled(
     std::uint64_t seed, const std::function<void(const Edge&)>& fn) const {
-  if (meter_ != nullptr) meter_->add_pass();
-  std::vector<std::size_t> order(graph_->num_edges());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  for_each_pass_shuffled<const std::function<void(const Edge&)>&>(seed, fn);
+}
+
+void EdgeStream::ensure_order(std::uint64_t seed) const {
+  if (order_valid_ && order_seed_ == seed &&
+      order_.size() == graph_->num_edges()) {
+    return;
+  }
+  order_.resize(graph_->num_edges());
+  std::iota(order_.begin(), order_.end(), EdgeId{0});
   Rng rng(seed);
-  rng.shuffle(order);
-  for (std::size_t idx : order) fn(graph_->edge(static_cast<EdgeId>(idx)));
+  rng.shuffle(order_);
+  order_seed_ = seed;
+  order_valid_ = true;
 }
 
 }  // namespace dp

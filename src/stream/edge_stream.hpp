@@ -3,12 +3,17 @@
 // list with pass counting. Algorithms in the streaming model may keep only
 // o(m) state; the ResourceMeter records passes and peak stored edges so
 // tests can assert the model is respected.
+//
+// Passes are templated on the callable so hot per-edge loops inline instead
+// of paying a std::function indirection per edge; the std::function
+// overloads remain for ABI users holding type-erased callbacks.
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "graph/graph.hpp"
 #include "util/accounting.hpp"
-#include "util/rng.hpp"
 
 namespace dp {
 
@@ -23,11 +28,30 @@ class EdgeStream {
   std::size_t num_edges() const noexcept { return graph_->num_edges(); }
 
   /// One pass: invoke fn(edge) for every edge in order. Increments the pass
-  /// counter.
+  /// counter. The callable is a template parameter (devirtualized).
+  template <typename Fn>
+  void for_each_pass(Fn&& fn) const {
+    if (meter_ != nullptr) meter_->add_pass();
+    for (const Edge& e : graph_->edges()) fn(e);
+  }
+
+  /// Type-erased overload for callers holding a std::function.
   void for_each_pass(const std::function<void(const Edge&)>& fn) const;
 
   /// One pass in a random order determined by `seed` (models adversarial /
-  /// arbitrary arrival order differing between passes).
+  /// arbitrary arrival order differing between passes). The permutation is
+  /// cached per seed, so repeated passes with the same seed rebuild
+  /// nothing; only the index order is materialized, never the edges.
+  /// Like the lazy CSR view, the cache is not synchronized: do not run the
+  /// first shuffled pass for a seed concurrently from several threads.
+  template <typename Fn>
+  void for_each_pass_shuffled(std::uint64_t seed, Fn&& fn) const {
+    if (meter_ != nullptr) meter_->add_pass();
+    ensure_order(seed);
+    for (EdgeId idx : order_) fn(graph_->edge(idx));
+  }
+
+  /// Type-erased overload for callers holding a std::function.
   void for_each_pass_shuffled(std::uint64_t seed,
                               const std::function<void(const Edge&)>& fn)
       const;
@@ -35,8 +59,13 @@ class EdgeStream {
   ResourceMeter* meter() const noexcept { return meter_; }
 
  private:
+  void ensure_order(std::uint64_t seed) const;
+
   const Graph* graph_;
   ResourceMeter* meter_;
+  mutable std::vector<EdgeId> order_;
+  mutable std::uint64_t order_seed_ = 0;
+  mutable bool order_valid_ = false;
 };
 
 }  // namespace dp

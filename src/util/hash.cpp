@@ -1,5 +1,7 @@
 #include "util/hash.hpp"
 
+#include "util/rng.hpp"
+
 namespace dp {
 
 KWiseHash::KWiseHash(int k, Rng& rng) {
@@ -17,6 +19,32 @@ std::uint64_t KWiseHash::operator()(std::uint64_t x) const noexcept {
     acc = MersenneField::add(MersenneField::mul(acc, xr), coef_[i]);
   }
   return acc;
+}
+
+void KWiseHash::many(const std::uint64_t* xs, std::size_t n,
+                     std::uint64_t* out) const noexcept {
+  const std::uint64_t* coef = coef_.data();
+  const std::size_t k = coef_.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint64_t x0 = MersenneField::reduce(xs[i]);
+    const std::uint64_t x1 = MersenneField::reduce(xs[i + 1]);
+    const std::uint64_t x2 = MersenneField::reduce(xs[i + 2]);
+    const std::uint64_t x3 = MersenneField::reduce(xs[i + 3]);
+    std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+    for (std::size_t j = k; j-- > 0;) {
+      const std::uint64_t c = coef[j];
+      a0 = MersenneField::add(MersenneField::mul(a0, x0), c);
+      a1 = MersenneField::add(MersenneField::mul(a1, x1), c);
+      a2 = MersenneField::add(MersenneField::mul(a2, x2), c);
+      a3 = MersenneField::add(MersenneField::mul(a3, x3), c);
+    }
+    out[i] = a0;
+    out[i + 1] = a1;
+    out[i + 2] = a2;
+    out[i + 3] = a3;
+  }
+  for (; i < n; ++i) out[i] = (*this)(xs[i]);
 }
 
 TabulationHash::TabulationHash(Rng& rng) {

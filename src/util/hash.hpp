@@ -11,9 +11,24 @@
 #include <cstdint>
 #include <vector>
 
-#include "util/rng.hpp"
-
 namespace dp {
+
+class Rng;
+
+/// Stateless 64-bit finalizer (the SplitMix64 output stage). Bijective, so
+/// distinct inputs never collide; the avalanche quality is what makes the
+/// counter-based RNG below usable as a per-(round, q, edge) random draw.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Combine a hash state with one more word (odd multipliers keep the map
+/// bijective in `h` for fixed `v` and vice versa).
+constexpr std::uint64_t mix_combine(std::uint64_t h, std::uint64_t v) noexcept {
+  return mix64(h + 0x9e3779b97f4a7c15ULL + v * 0xff51afd7ed558ccdULL);
+}
 
 /// Arithmetic modulo the Mersenne prime p = 2^61 - 1.
 class MersenneField {
@@ -48,6 +63,13 @@ class KWiseHash {
 
   /// Hash value in [0, kPrime).
   std::uint64_t operator()(std::uint64_t x) const noexcept;
+
+  /// Batched evaluation: out[i] = (*this)(xs[i]) for i < n. The Horner
+  /// chains of four inputs are interleaved, so the serial modular-multiply
+  /// dependency of one evaluation overlaps with its neighbours' — the
+  /// batch throughput win L0Sampler::update_batch is built on.
+  void many(const std::uint64_t* xs, std::size_t n,
+            std::uint64_t* out) const noexcept;
 
   /// Hash mapped to [0, range) with negligible modulo bias (range << 2^61).
   std::uint64_t bounded(std::uint64_t x, std::uint64_t range) const noexcept {

@@ -11,6 +11,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace dp {
 
 /// SplitMix64 step: used to expand a 64-bit seed into a full generator state
@@ -22,6 +24,62 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
+
+/// Counter-based (stateless) generator built on util/hash's mix64: every
+/// draw is a pure function of the seed and a caller-supplied counter tuple,
+/// so draws can be evaluated in any order, from any thread, and in any
+/// execution substrate (in-memory sweep, streaming pass, MapReduce mapper)
+/// while reproducing bit-for-bit. This is the randomness contract of the
+/// batched sampling engine (core/sampling): the draw for (round, q, edge)
+/// never depends on how many draws happened before it.
+class CounterRng {
+ public:
+  explicit constexpr CounterRng(std::uint64_t seed) noexcept
+      : seed_(mix64(seed ^ 0xa076'1d64'78bd'642fULL)) {}
+
+  /// Raw 64 bits for a 1-, 2- or 3-word counter.
+  constexpr std::uint64_t bits(std::uint64_t a) const noexcept {
+    return mix_combine(seed_, a);
+  }
+  constexpr std::uint64_t bits(std::uint64_t a,
+                               std::uint64_t b) const noexcept {
+    return mix_combine(mix_combine(seed_, a), b);
+  }
+  constexpr std::uint64_t bits(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t c) const noexcept {
+    return mix_combine(mix_combine(mix_combine(seed_, a), b), c);
+  }
+
+  /// Uniform real in [0, 1) for the given counter.
+  constexpr double uniform_real(std::uint64_t a, std::uint64_t b,
+                                std::uint64_t c) const noexcept {
+    return static_cast<double>(bits(a, b, c) >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p for the given counter.
+  constexpr bool bernoulli(double p, std::uint64_t a, std::uint64_t b,
+                           std::uint64_t c) const noexcept {
+    return uniform_real(a, b, c) < p;
+  }
+
+  /// Number of fair-coin heads before the first tail (geometric, capped at
+  /// 64) for the given counter — the stateless counterpart of
+  /// Rng::coin_flips_until_tail used by layered subsampling.
+  int coin_flips_until_tail(std::uint64_t a, std::uint64_t b) const noexcept {
+    const std::uint64_t word = bits(a, b);
+    return word == ~0ULL ? 64 : __builtin_ctzll(~word);
+  }
+
+  /// Derive an independent child stream; deterministic in (seed, salt).
+  constexpr CounterRng fork(std::uint64_t salt) const noexcept {
+    return CounterRng(mix_combine(seed_, salt));
+  }
+
+  constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
 
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator so it can be
 /// used with <random> distributions, but the members below cover all library

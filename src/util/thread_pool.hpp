@@ -87,4 +87,19 @@ void run_chunks(ThreadPool* pool, std::size_t begin, std::size_t end,
                         });
 }
 
+/// Run fn(i) for i in [0, count): on the pool when one is available, inline
+/// otherwise. The job decomposition is independent of the pool size, so as
+/// long as every job writes only to its own slot, combining the slots in
+/// job order is deterministic for any thread count (the same contract as
+/// run_chunks, for heterogeneous jobs instead of a flat index range).
+template <typename Fn>
+void run_jobs(ThreadPool* pool, std::size_t count, const Fn& fn) {
+  if (count == 0) return;
+  if (pool == nullptr || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(0, count, [&fn](std::size_t i) { fn(i); });
+}
+
 }  // namespace dp

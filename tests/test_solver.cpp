@@ -105,6 +105,32 @@ TEST(Solver, EmptyAndTinyGraphs) {
   EXPECT_GE(one.certified_ratio, 1.0 - 4.0 * 0.05);
 }
 
+TEST(Solver, SamplingDeterministicAcrossThreadCounts) {
+  // The batched sampling engine's counter-based draws plus the fixed-chunk
+  // sweeps make the WHOLE solve bitwise thread-count-invariant: stored
+  // sparsifier sizes per round, the value, and the certified ratio must be
+  // identical for 1/2/8 threads.
+  Graph g = gen::gnm(120, 900, 51);
+  gen::weight_uniform(g, 1.0, 12.0, 52);
+  SolverOptions opt = fast_options(0.2);
+  opt.max_outer_rounds = 3;
+  std::vector<SolverResult> results;
+  for (std::size_t threads : {1, 2, 8}) {
+    opt.oracle.threads = threads;
+    results.push_back(solve_matching(g, opt));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].value, results[i].value);
+    EXPECT_EQ(results[0].certified_ratio, results[i].certified_ratio);
+    ASSERT_EQ(results[0].history.size(), results[i].history.size());
+    for (std::size_t r = 0; r < results[0].history.size(); ++r) {
+      EXPECT_EQ(results[0].history[r].stored_edges,
+                results[i].history[r].stored_edges)
+          << "round " << r;
+    }
+  }
+}
+
 TEST(Solver, DeterministicForSeed) {
   Graph g = gen::gnm(50, 300, 21);
   gen::weight_uniform(g, 1.0, 4.0, 22);

@@ -12,6 +12,7 @@
 #include "sparsify/deferred.hpp"
 #include "sparsify/strength.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp {
 namespace {
@@ -177,6 +178,32 @@ TEST(Deferred, RefineRejectsSizeMismatch) {
       (DeferredSparsifier{g.num_vertices(), g.edges(),
                           std::vector<double>(3, 1.0), DeferredOptions{}, 4}),
       std::invalid_argument);
+}
+
+TEST(Deferred, ProbabilitiesThreadCountInvariantAndScratchReusable) {
+  // The chunk-parallel path must be bitwise identical for any pool size,
+  // equal to the allocating wrapper, and stable when one scratch serves
+  // many rounds.
+  Graph g = gen::gnm(80, 900, 45);
+  gen::weight_zipf(g, 0.8, 46);
+  std::vector<double> promise(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) promise[e] = g.edge(e).w;
+  DeferredOptions opt;
+  opt.xi = 0.4;
+  opt.sampling_constant = 0.3;
+
+  const auto reference = deferred_probabilities(g.num_vertices(), g.edges(),
+                                                promise, opt, 11);
+  DeferredScratch scratch;
+  std::vector<double> prob;
+  for (std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (int repeat = 0; repeat < 2; ++repeat) {  // scratch reuse
+      deferred_probabilities_into(g.num_vertices(), g.edges(), promise, opt,
+                                  11, prob, scratch, &pool);
+      EXPECT_EQ(prob, reference) << "threads " << threads;
+    }
+  }
 }
 
 TEST(Deferred, ProbabilitiesSharedAcrossDraws) {

@@ -3,11 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
+#include <vector>
 
+#include "core/sampling.hpp"
 #include "graph/generators.hpp"
 #include "mapreduce/mapreduce.hpp"
+#include "sparsify/deferred.hpp"
 #include "stream/edge_stream.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dp {
 namespace {
@@ -46,6 +51,138 @@ TEST(EdgeStream, ShuffleDeterministicInSeed) {
     order_b.push_back(e.u);
   });
   EXPECT_EQ(order_a, order_b);
+}
+
+TEST(EdgeStream, TypeErasedOverloadMatchesTemplate) {
+  const Graph g = gen::gnm(12, 30, 4);
+  EdgeStream stream(g);
+  std::vector<Vertex> a, b;
+  const std::function<void(const Edge&)> erased = [&](const Edge& e) {
+    a.push_back(e.u);
+  };
+  stream.for_each_pass(erased);                          // std::function
+  stream.for_each_pass([&](const Edge& e) { b.push_back(e.u); });  // inline
+  EXPECT_EQ(a, b);
+}
+
+TEST(EdgeStream, ShuffledPassCachesOrderPerSeed) {
+  const Graph g = gen::gnm(14, 60, 6);
+  ResourceMeter meter;
+  EdgeStream stream(g, &meter);
+  std::vector<Vertex> first, second, other_seed;
+  stream.for_each_pass_shuffled(9, [&](const Edge& e) {
+    first.push_back(e.u);
+  });
+  stream.for_each_pass_shuffled(9, [&](const Edge& e) {
+    second.push_back(e.u);
+  });
+  stream.for_each_pass_shuffled(10, [&](const Edge& e) {
+    other_seed.push_back(e.u);
+  });
+  EXPECT_EQ(first, second);        // cached permutation reused
+  EXPECT_NE(first, other_seed);    // new seed regenerates
+  EXPECT_EQ(meter.passes(), 3u);
+}
+
+// ---- Batched sampling rounds across substrates (core/sampling). ----
+
+std::vector<double> sampling_probabilities(const Graph& g) {
+  std::vector<double> promise(g.num_edges(), 1.0);
+  DeferredOptions dopt;
+  dopt.xi = 0.5;
+  dopt.gamma = 1.5;
+  dopt.sampling_constant = 0.05;
+  return deferred_probabilities(g.num_vertices(), g.edges(), promise, dopt,
+                                123);
+}
+
+TEST(SamplingEngine, ThreadCountInvariantDraws) {
+  const Graph g = gen::gnm(60, 800, 7);
+  const std::vector<double> prob = sampling_probabilities(g);
+  const std::size_t t = 5;
+  core::SamplingEngine serial;
+  serial.draw(prob, t, 3, 99);
+  for (std::size_t threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    core::SamplingEngine engine(&pool, /*grain=*/64);
+    engine.draw(prob, t, 3, 99);
+    EXPECT_EQ(engine.last_round().masks(), serial.last_round().masks());
+    EXPECT_EQ(engine.last_round().union_support(),
+              serial.last_round().union_support());
+    EXPECT_EQ(engine.last_round().stored_total(),
+              serial.last_round().stored_total());
+    for (std::size_t q = 0; q < t; ++q) {
+      EXPECT_EQ(engine.last_round().sparsifier(q),
+                serial.last_round().sparsifier(q));
+    }
+  }
+}
+
+TEST(SamplingEngine, StreamDrawMatchesInMemoryAndMetersPass) {
+  const Graph g = gen::gnm(50, 600, 8);
+  const std::vector<double> prob = sampling_probabilities(g);
+  const std::size_t t = 4;
+
+  core::SamplingEngine memory_engine;
+  ResourceMeter memory_meter;
+  memory_engine.draw(prob, t, 2, 55, &memory_meter);
+
+  ResourceMeter stream_meter;
+  EdgeStream stream(g, &stream_meter);
+  core::SamplingEngine stream_engine;
+  stream_engine.draw_stream(stream, prob, t, 2, 55);
+
+  EXPECT_EQ(stream_engine.last_round().masks(),
+            memory_engine.last_round().masks());
+  EXPECT_EQ(stream_engine.last_round().union_support(),
+            memory_engine.last_round().union_support());
+  // Both substrates meter the same round/pass/store accounting.
+  EXPECT_EQ(memory_meter.rounds(), 1u);
+  EXPECT_EQ(memory_meter.passes(), 1u);
+  EXPECT_EQ(stream_meter.rounds(), 1u);
+  EXPECT_EQ(stream_meter.passes(), 1u);
+  EXPECT_EQ(memory_meter.stored_edges(),
+            memory_engine.last_round().stored_total());
+  EXPECT_EQ(stream_meter.stored_edges(), memory_meter.stored_edges());
+}
+
+TEST(SamplingEngine, MapReduceRoundMatchesEngine) {
+  const Graph g = gen::gnm(40, 500, 9);
+  const std::vector<double> prob = sampling_probabilities(g);
+  const std::size_t t = 6;
+
+  core::SamplingEngine engine;
+  engine.draw(prob, t, 4, 123);
+
+  mapreduce::Config config;
+  config.machines = 8;
+  ResourceMeter meter;
+  mapreduce::Simulator sim(config, &meter);
+  const auto supports = mapreduce::sample_round(sim, prob, t, 4, 123, &meter);
+
+  ASSERT_EQ(supports.size(), t);
+  std::size_t stored_total = 0;
+  for (std::size_t q = 0; q < t; ++q) {
+    EXPECT_EQ(supports[q], engine.last_round().sparsifier(q)) << "q=" << q;
+    stored_total += supports[q].size();
+  }
+  EXPECT_EQ(stored_total, engine.last_round().stored_total());
+  EXPECT_EQ(meter.rounds(), 1u);
+  EXPECT_EQ(meter.passes(), 1u);
+  EXPECT_EQ(meter.stored_edges(), stored_total);
+}
+
+TEST(SamplingEngine, SaturatedAndZeroProbabilities) {
+  std::vector<double> prob{1.0, 0.0, 0.5, 2.0, -1.0};
+  core::SamplingEngine engine;
+  const core::SamplingRound& round = engine.draw(prob, 3, 0, 1);
+  EXPECT_EQ(round.masks()[0], 0b111u);  // p >= 1: all sparsifiers
+  EXPECT_EQ(round.masks()[1], 0u);      // p == 0: none
+  EXPECT_EQ(round.masks()[3], 0b111u);
+  EXPECT_EQ(round.masks()[4], 0u);
+  for (std::uint32_t idx : round.union_support()) {
+    EXPECT_NE(round.masks()[idx], 0u);
+  }
 }
 
 TEST(MapReduce, WordCountStyleRound) {
