@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus the hot-path micro benchmark.
+# Tier-1 verify plus the hot-path micro benchmark and the round-pipeline
+# determinism gate.
 #
 # Configures with DP_WERROR=ON so any -Wall -Wextra warning in src/core is a
-# build failure, runs the full test suite through ctest, then runs
+# build failure, runs the full test suite through ctest, runs
 # bench_micro --quick (which also sanity-checks flat-vs-map agreement and
-# refreshes BENCH_micro.json).
+# refreshes BENCH_micro.json), then bench_runtime (which gates bitwise
+# 1/2/8-thread and pipeline-on/off stability and refreshes
+# BENCH_runtime.json with the overlap speedup column).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,4 +18,5 @@ cmake -B "$BUILD_DIR" -S . -DDP_WERROR=ON
 cmake --build "$BUILD_DIR" -j"$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
 "./$BUILD_DIR/bench_micro" --quick
+"./$BUILD_DIR/bench_runtime"
 echo "check.sh: OK"

@@ -1,0 +1,411 @@
+#include "core/round_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dp::core {
+
+namespace {
+
+/// Sort packed row keys: fixed-grain chunk sorts in parallel, then a merge
+/// cascade over chunk-pair ranges. Both phases produce the unique sorted
+/// sequence whatever the thread count (sorting is a deterministic function
+/// of the input range), so the pass honors the fixed-chunk contract while
+/// parallelizing the dominant O(s log s) comparison work.
+void sort_keys(std::vector<std::uint64_t>& keys, ThreadPool* pool,
+               std::size_t grain) {
+  const std::size_t n = keys.size();
+  if (n <= 1) return;
+  if (pool == nullptr || n <= grain) {
+    std::sort(keys.begin(), keys.end());
+    return;
+  }
+  run_chunks(pool, 0, n, grain,
+             [&](std::size_t, std::size_t lo, std::size_t hi) {
+               std::sort(keys.begin() + static_cast<std::ptrdiff_t>(lo),
+                         keys.begin() + static_cast<std::ptrdiff_t>(hi));
+             });
+  for (std::size_t width = grain; width < n; width *= 2) {
+    const std::size_t pairs = (n + 2 * width - 1) / (2 * width);
+    run_jobs(pool, pairs, [&](std::size_t p) {
+      const std::size_t lo = p * 2 * width;
+      const std::size_t mid = lo + width;
+      if (mid >= n) return;
+      const std::size_t hi = std::min(n, lo + 2 * width);
+      std::inplace_merge(keys.begin() + static_cast<std::ptrdiff_t>(lo),
+                         keys.begin() + static_cast<std::ptrdiff_t>(mid),
+                         keys.begin() + static_cast<std::ptrdiff_t>(hi));
+    });
+  }
+}
+
+}  // namespace
+
+RoundPipeline::RoundPipeline(const Graph& g, const LevelGraph& lg,
+                             const Capacities& b, bool unit_caps,
+                             MicroOracle& oracle,
+                             RoundPipelineOptions options)
+    : g_(&g),
+      lg_(&lg),
+      b_(&b),
+      unit_caps_(unit_caps),
+      oracle_(&oracle),
+      pool_(oracle.worker_pool()),
+      options_(std::move(options)),
+      sampler_(oracle.worker_pool(),
+               options_.grain == 0 ? 1 : options_.grain),
+      sample_rng_(options_.sample_seed) {
+  if (options_.grain == 0) options_.grain = 1;
+  options_.sparsifiers =
+      std::min(options_.sparsifiers, kMaxSparsifiersPerRound);
+  retained_edges_.reserve(lg.retained().size());
+  for (EdgeId e : lg.retained()) retained_edges_.push_back(g.edge(e));
+}
+
+RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
+                                                    double lambda,
+                                                    DualState& state,
+                                                    Incumbent& inc,
+                                                    ResourceMeter& meter) {
+  RoundReport report;
+  const double alpha = stage_multipliers(state, lambda, round);
+  const SamplingRound& draws = stage_draw(round);
+  report.stored_edges = draws.stored_total();
+  // OfflineResolve overlaps InnerRefine: the job reads only the frozen
+  // draw and immutable inputs and writes only its future, so the overlap
+  // is bitwise equivalent to running the stages back to back.
+  Future<OfflineSolution> offline = stage_offline(draws);
+  try {
+    stage_inner(draws, alpha, state, inc, report);
+  } catch (...) {
+    // The detached job reads `this` and the frozen draw; join it before
+    // the unwind can destroy either.
+    if (offline.valid()) offline.wait();
+    throw;
+  }
+  stage_merge(offline, inc, meter, draws.stored_total());
+  return report;
+}
+
+double RoundPipeline::stage_multipliers(const DualState& state, double lambda,
+                                        std::size_t round) {
+  const auto m_retained = static_cast<double>(lg_->retained().size());
+  const double eps = options_.eps;
+  // PST multiplier temperature (Theorem 5): alpha ~ ln(m/eps)/(lambda eps).
+  const double lambda_floor =
+      std::max(lambda, eps / std::max(256.0, m_retained));
+  const double alpha =
+      2.0 * std::log(2.0 * m_retained / eps) / (lambda_floor * eps);
+
+  // Promise multipliers over every retained edge; ONE access round.
+  covering_us_into(state, lg_->retained(), alpha, ctx_.promise);
+  ctx_.prob = &sampler_.probabilities(g_->num_vertices(), retained_edges_,
+                                      ctx_.promise, options_.deferred,
+                                      sample_rng_.bits(round, 1));
+  return alpha;
+}
+
+const SamplingRound& RoundPipeline::stage_draw(std::size_t round) {
+  return sampler_.draw(*ctx_.prob, options_.sparsifiers, round,
+                       sample_rng_.seed(), &ctx_.draw_meter);
+}
+
+Future<OfflineSolution> RoundPipeline::stage_offline(
+    const SamplingRound& draws) {
+  const SamplingRound* frozen = &draws;
+  auto job = [this, frozen]() {
+    const std::vector<EdgeId>& retained = lg_->retained();
+    std::vector<EdgeId> support;
+    support.reserve(frozen->union_support().size());
+    for (std::uint32_t idx : frozen->union_support()) {
+      support.push_back(retained[idx]);
+    }
+    // The offline working set is a copy of edges the Draw stage already
+    // charged (union <= stored incidences), so it consumes no additional
+    // space budget in the paper's model — no store/release here.
+    return solve_offline(support);
+  };
+  if (!options_.overlap_offline || pool_ == nullptr) {
+    return Future<OfflineSolution>::immediate(job());
+  }
+  return pool_->submit_job(std::move(job));
+}
+
+void RoundPipeline::stage_inner(const SamplingRound& draws, double alpha,
+                                DualState& state, Incumbent& inc,
+                                RoundReport& report) {
+  const double eps = options_.eps;
+  for (std::size_t q = 0; q < draws.num_sparsifiers(); ++q) {
+    // Deferred refinement: evaluate the CURRENT multipliers on exactly the
+    // stored indices (no new data access). Sparsifier q's support is a
+    // bit-filtered extraction of the round's frozen union.
+    extract_sparsifier(draws, q);
+    if (ctx_.ids.empty()) continue;
+    covering_us_into(state, ctx_.ids, alpha, ctx_.u_now);
+    ctx_.us.resize(ctx_.ids.size());
+    run_chunks(pool_, 0, ctx_.ids.size(), options_.grain,
+               [&](std::size_t, std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   ctx_.us[i] = StoredMultiplier{
+                       ctx_.ids[i], ctx_.u_now[i] / ctx_.sample_prob[i]};
+                 }
+               });
+    build_zeta(state);
+
+    const MicroResult mr = oracle_->run_lagrangian(ctx_.us, ctx_.zeta,
+                                                   inc.beta,
+                                                   &report.oracle_calls);
+    ctx_.inner_meter.add_inner_iterations();
+    if (mr.kind == MicroResult::Kind::kPrimal) {
+      // The dual cannot make progress at this beta: the stored edges carry
+      // a matching close to beta (Lemma 13). Raise beta (Algorithm 3 step
+      // 5b) and continue.
+      inc.beta *= (1.0 + eps);
+      continue;
+    }
+    const double sigma =
+        std::min(0.5, eps / (4.0 * alpha * 6.0));  // rho_o = 6 (LP4/LP5)
+    state.blend(mr.x, sigma);
+  }
+  ctx_.inner_meter.add_oracle_calls(report.oracle_calls);
+}
+
+void RoundPipeline::stage_merge(Future<OfflineSolution>& offline,
+                                Incumbent& inc, ResourceMeter& meter,
+                                std::size_t stored_total) {
+  const OfflineSolution sol = offline.get();
+  merge_offline(sol, inc);
+  // Aggregate the per-stage meters in fixed stage order — counter totals
+  // are therefore identical whatever thread interleaving produced them.
+  meter.merge(ctx_.draw_meter);
+  meter.merge(ctx_.offline_meter);
+  meter.merge(ctx_.inner_meter);
+  ctx_.draw_meter.reset();
+  ctx_.offline_meter.reset();
+  ctx_.inner_meter.reset();
+  // The round's samples are discarded once its iterations finish; peak
+  // space is a per-round quantity.
+  meter.release_edges(stored_total);
+}
+
+OfflineSolution RoundPipeline::solve_offline(
+    const std::vector<EdgeId>& support) const {
+  Graph sub(g_->num_vertices());
+  for (EdgeId e : support) {
+    const Edge& edge = g_->edge(e);
+    sub.add_edge(edge.u, edge.v, edge.w);
+  }
+  OfflineSolution out;
+  out.bm = BMatching(g_->num_edges());
+  if (unit_caps_) {
+    const Matching m = approx_weighted_matching(sub, options_.offline);
+    out.support.reserve(m.size());
+    for (EdgeId local : m.edges()) {
+      out.bm.set_multiplicity(support[local], 1);
+      out.support.push_back(support[local]);
+    }
+  } else {
+    const BMatching bm = approx_weighted_b_matching(sub, *b_);
+    for (EdgeId local = 0; local < bm.num_edges(); ++local) {
+      if (bm.multiplicity(local) > 0) {
+        out.bm.set_multiplicity(support[local], bm.multiplicity(local));
+        out.support.push_back(support[local]);
+      }
+    }
+  }
+  std::sort(out.support.begin(), out.support.end());
+  for (EdgeId e : out.support) {
+    out.value += static_cast<double>(out.bm.multiplicity(e)) * g_->edge(e).w;
+  }
+  return out;
+}
+
+void RoundPipeline::merge_offline(const OfflineSolution& sol,
+                                  Incumbent& inc) const {
+  const double eps = options_.eps;
+  if (sol.value > inc.value) {
+    inc.value = sol.value;
+    inc.best = sol.bm;
+  }
+  // Normalized (level-weight) value over the solution's support only — no
+  // full-edge scan.
+  double norm = 0;
+  for (EdgeId e : sol.support) {
+    if (lg_->level(e) >= 0) {
+      norm += static_cast<double>(sol.bm.multiplicity(e)) *
+              lg_->level_weight(lg_->level(e));
+    }
+  }
+  // Algorithm 2 step 6 with a3 folded into eps: remember the raised beta.
+  if (norm > inc.beta * (1.0 - eps) / (1.0 + eps)) {
+    inc.beta = norm * (1.0 + eps) / (1.0 - eps);
+  }
+}
+
+void RoundPipeline::covering_us_into(const DualState& state,
+                                     const std::vector<EdgeId>& edges,
+                                     double alpha, std::vector<double>& u) {
+  const LevelGraph& lg = *lg_;
+  const std::size_t m = edges.size();
+  const std::size_t grain = options_.grain;
+  const std::size_t chunks = m == 0 ? 0 : (m + grain - 1) / grain;
+  ctx_.cov_ratio.resize(m);
+  ctx_.cov_partial.assign(chunks, 1e300);
+  double* ratio = ctx_.cov_ratio.data();
+  double* partial = ctx_.cov_partial.data();
+  run_chunks(pool_, 0, m, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_min = 1e300;
+               for (std::size_t idx = lo; idx < hi; ++idx) {
+                 const EdgeId e = edges[idx];
+                 const Edge& edge = lg.graph().edge(e);
+                 const int k = lg.level(e);
+                 ratio[idx] =
+                     state.cover_row(edge.u, edge.v, k) / lg.level_weight(k);
+                 local_min = std::min(local_min, ratio[idx]);
+               }
+               partial[c] = local_min;
+             });
+  double min_ratio = 1e300;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    min_ratio = std::min(min_ratio, partial[c]);
+  }
+  u.assign(m, 0.0);
+  std::fill(ctx_.cov_partial.begin(), ctx_.cov_partial.end(), 0.0);
+  double* out = u.data();
+  run_chunks(pool_, 0, m, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_max = 0;
+               for (std::size_t idx = lo; idx < hi; ++idx) {
+                 const int k = lg.level(edges[idx]);
+                 out[idx] = std::exp(-alpha * (ratio[idx] - min_ratio)) /
+                            lg.level_weight(k);
+                 local_max = std::max(local_max, out[idx]);
+               }
+               partial[c] = local_max;
+             });
+  double u_max = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    u_max = std::max(u_max, partial[c]);
+  }
+  const double floor_value =
+      u_max * lg.eps() / (4.0 * static_cast<double>(m) + 4.0);
+  for (double& value : u) value = std::max(value, floor_value);
+}
+
+void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
+                                       std::size_t q) {
+  const std::vector<std::uint32_t>& uni = draws.union_support();
+  const std::uint32_t* masks = draws.masks().data();
+  const std::vector<EdgeId>& retained = lg_->retained();
+  const std::vector<double>& prob = *ctx_.prob;
+  const std::size_t u_size = uni.size();
+  const std::size_t grain = options_.grain;
+  const std::size_t chunks =
+      u_size == 0 ? 0 : (u_size + grain - 1) / grain;
+  ctx_.chunk_cursor.assign(chunks, 0);
+  std::uint32_t* cursor = ctx_.chunk_cursor.data();
+  run_chunks(pool_, 0, u_size, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               std::uint32_t count = 0;
+               for (std::size_t i = lo; i < hi; ++i) {
+                 count += (masks[uni[i]] >> q) & 1u;
+               }
+               cursor[c] = count;
+             });
+  std::uint32_t total = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::uint32_t count = cursor[c];
+    cursor[c] = total;
+    total += count;
+  }
+  ctx_.ids.resize(total);
+  ctx_.sample_prob.resize(total);
+  EdgeId* ids = ctx_.ids.data();
+  double* sp = ctx_.sample_prob.data();
+  run_chunks(pool_, 0, u_size, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               std::uint32_t cur = cursor[c];
+               for (std::size_t i = lo; i < hi; ++i) {
+                 const std::uint32_t idx = uni[i];
+                 if ((masks[idx] >> q) & 1u) {
+                   ids[cur] = retained[idx];
+                   sp[cur] = prob[idx];
+                   ++cur;
+                 }
+               }
+             });
+}
+
+void RoundPipeline::build_zeta(const DualState& state) {
+  const Graph& g = *g_;
+  const LevelGraph& lg = *lg_;
+  const double eps = options_.eps;
+  const auto levels = static_cast<std::uint64_t>(lg.num_levels());
+  const std::size_t s = ctx_.ids.size();
+  const std::size_t grain = options_.grain;
+
+  // zeta: packing multipliers on the active outer rows (i, k), built flat:
+  // chunk-parallel packed-key emission, parallel sort + unique, then two
+  // chunk-parallel exp sweeps (the max reduction is exact).
+  ctx_.row_keys.resize(2 * s);
+  std::uint64_t* row_keys = ctx_.row_keys.data();
+  const EdgeId* ids = ctx_.ids.data();
+  run_chunks(pool_, 0, s, grain,
+             [&](std::size_t, std::size_t lo, std::size_t hi) {
+               for (std::size_t i = lo; i < hi; ++i) {
+                 const EdgeId e = ids[i];
+                 const Edge& edge = g.edge(e);
+                 const auto k = static_cast<std::uint64_t>(lg.level(e));
+                 row_keys[2 * i] =
+                     static_cast<std::uint64_t>(edge.u) * levels + k;
+                 row_keys[2 * i + 1] =
+                     static_cast<std::uint64_t>(edge.v) * levels + k;
+               }
+             });
+  sort_keys(ctx_.row_keys, pool_, grain);
+  ctx_.row_keys.erase(
+      std::unique(ctx_.row_keys.begin(), ctx_.row_keys.end()),
+      ctx_.row_keys.end());
+  row_keys = ctx_.row_keys.data();
+
+  const std::size_t rows = ctx_.row_keys.size();
+  const std::size_t chunks = rows == 0 ? 0 : (rows + grain - 1) / grain;
+  ctx_.expos.resize(rows);
+  ctx_.cov_partial.assign(chunks, -1e300);
+  double* expos = ctx_.expos.data();
+  double* partial = ctx_.cov_partial.data();
+  const double alpha_p =
+      std::log(2.0 * (static_cast<double>(rows) + 1) / eps) * 6.0 / eps;
+  run_chunks(pool_, 0, rows, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_max = -1e300;
+               for (std::size_t r = lo; r < hi; ++r) {
+                 const auto i = static_cast<Vertex>(row_keys[r] / levels);
+                 const int k = static_cast<int>(row_keys[r] % levels);
+                 const double q_val = 3.0 * lg.level_weight(k);
+                 expos[r] = alpha_p * state.po_row(i, k) / q_val;
+                 local_max = std::max(local_max, expos[r]);
+               }
+               partial[c] = local_max;
+             });
+  double max_expo = -1e300;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    max_expo = std::max(max_expo, partial[c]);
+  }
+  run_chunks(pool_, 0, rows, grain,
+             [&](std::size_t, std::size_t lo, std::size_t hi) {
+               for (std::size_t r = lo; r < hi; ++r) {
+                 const int k = static_cast<int>(row_keys[r] % levels);
+                 expos[r] = std::exp(expos[r] - max_expo) /
+                            (3.0 * lg.level_weight(k));
+               }
+             });
+  ctx_.zeta.clear();
+  ctx_.zeta.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    ctx_.zeta.append(row_keys[r], expos[r]);
+  }
+}
+
+}  // namespace dp::core

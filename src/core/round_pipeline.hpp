@@ -1,0 +1,198 @@
+#pragma once
+// Staged round pipeline — the execution engine behind one adaptive sampling
+// round of Algorithm 2 (the body of Solver::solve's outer loop).
+//
+// A round decomposes into five explicit stages over a RoundContext that
+// owns the per-round buffers of the Multipliers/Draw/InnerRefine stages
+// (those allocate nothing in steady state; OfflineResolve builds its own
+// working set per round — one job in flight at a time, off the critical
+// path when overlapped):
+//
+//   Multipliers ──> Draw ──┬── OfflineResolve ──┐
+//                          └── InnerRefine ─────┴──> Merge
+//
+//  - Multipliers: exponential covering multipliers u over all retained
+//    edges (Theorem 5 rule) and the deferred-sparsifier inclusion
+//    probabilities (sparsify/deferred) — the round's ONE access to data.
+//  - Draw: all t deferred sparsifiers in one batched counter-based sweep
+//    (core/sampling). The draw output is frozen until Merge.
+//  - OfflineResolve: the offline (1-a3)-approximation on the union of
+//    stored edges (Algorithm 2 step 5). Pure function of the frozen draw —
+//    it writes only its own OfflineSolution — so it runs as a one-shot
+//    pool job CONCURRENTLY with InnerRefine.
+//  - InnerRefine: the t inner multiplicative-weight iterations on the
+//    stored samples (deferred refinement + MiniOracle + PST blend). Reads
+//    the frozen draw and mutates only the dual state and the incumbent's
+//    beta (Algorithm 3 step 5b raises).
+//  - Merge: the single join point. Joins the OfflineResolve future, folds
+//    the offline solution into the incumbent (best value + beta raise,
+//    Algorithm 2 step 6), and aggregates the per-stage ResourceMeters into
+//    the solve meter in fixed stage order (Draw, OfflineResolve,
+//    InnerRefine).
+//
+// Determinism contract (extending the fixed-chunk contract): OfflineResolve
+// and InnerRefine share only immutable inputs (the graph, the frozen draw,
+// the union support), every InnerRefine sweep runs on fixed-grain chunks
+// with exact (min/max) or per-slot reductions, and all cross-stage effects
+// land at Merge — so the pipelined round is bitwise identical to executing
+// the same stages sequentially, for any thread count (gated for 1/2/8
+// threads by tests/test_round_pipeline.cpp and bench_runtime).
+//
+// The stage seams are substrate-agnostic on purpose: Draw already has
+// in-memory / semi-streaming / MapReduce implementations behind the same
+// SamplingRound surface (core/sampling), and a future substrate only needs
+// to reproduce that surface — Multipliers, InnerRefine and Merge never see
+// where the stored edges came from.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dual_state.hpp"
+#include "core/oracle.hpp"
+#include "core/sampling.hpp"
+#include "core/weight_levels.hpp"
+#include "graph/graph.hpp"
+#include "matching/approx.hpp"
+#include "matching/matching.hpp"
+#include "sparsify/deferred.hpp"
+#include "util/accounting.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dp::core {
+
+/// Offline re-solve output: the solution lifted to full-graph edge ids plus
+/// its positive-multiplicity support, so downstream consumers (normalized
+/// value, merge) iterate the support instead of rescanning all m edges.
+struct OfflineSolution {
+  BMatching bm;
+  std::vector<EdgeId> support;  // edges with multiplicity > 0, ascending
+  double value = 0;             // original-weight value of bm
+};
+
+/// The incumbent primal solution and normalized budget beta shared by the
+/// stages. InnerRefine raises beta on primal oracle signals; Merge folds in
+/// the offline re-solve. Owned by the solver across rounds.
+struct Incumbent {
+  BMatching best;
+  double value = 0;
+  double beta = 0;
+};
+
+struct RoundPipelineOptions {
+  double eps = 0.1;
+  /// Sparsifiers (= inner MW iterations) per round; <= 32.
+  std::size_t sparsifiers = 4;
+  /// Fixed chunk grain of every pipeline sweep (the determinism contract).
+  std::size_t grain = 1024;
+  /// Run OfflineResolve concurrently with InnerRefine. Off = the
+  /// sequential reference; the result is bitwise identical either way.
+  bool overlap_offline = true;
+  /// Deferred-sparsifier probability knobs for the Multipliers stage.
+  DeferredOptions deferred;
+  /// Offline solver knobs for OfflineResolve.
+  ApproxOptions offline;
+  /// Counter-RNG seed of the draw stream (pure function of (seed, round,
+  /// q, edge) — see core/sampling).
+  std::uint64_t sample_seed = 0;
+};
+
+class RoundPipeline {
+ public:
+  /// `g`, `lg`, `b` and `oracle` must outlive the pipeline. The pipeline
+  /// shares the oracle's worker pool for every stage sweep and for the
+  /// OfflineResolve job — one solve, one pool.
+  RoundPipeline(const Graph& g, const LevelGraph& lg, const Capacities& b,
+                bool unit_caps, MicroOracle& oracle,
+                RoundPipelineOptions options);
+
+  struct RoundReport {
+    std::size_t stored_edges = 0;
+    std::size_t oracle_calls = 0;
+  };
+
+  /// Execute one full round: Multipliers -> Draw -> OfflineResolve (async)
+  /// with InnerRefine -> Merge. `lambda` is the round's certificate value
+  /// (sets the PST temperature alpha). Mutates the dual state and the
+  /// incumbent; merges all per-stage meters into `meter` at the join point.
+  RoundReport run_round(std::size_t round, double lambda, DualState& state,
+                        Incumbent& inc, ResourceMeter& meter);
+
+  /// Offline re-solve on an explicit support (full-graph edge ids). The
+  /// initial support and the per-round union both route through here.
+  OfflineSolution solve_offline(const std::vector<EdgeId>& support) const;
+
+  /// Algorithm 2 step 6: fold an offline solution into the incumbent —
+  /// remember the best integral solution and raise beta when the
+  /// normalized value (over the solution's support) beats it.
+  void merge_offline(const OfflineSolution& sol, Incumbent& inc) const;
+
+ private:
+  /// Reusable per-round scratch; every stage writes only its own buffers.
+  struct RoundContext {
+    // Multipliers stage.
+    std::vector<double> promise;
+    const std::vector<double>* prob = nullptr;  // engine-owned buffer
+    // covering_us_into scratch (shared by Multipliers and InnerRefine —
+    // the stages never run concurrently with each other).
+    std::vector<double> cov_ratio;
+    std::vector<double> cov_partial;
+    // InnerRefine stage.
+    std::vector<EdgeId> ids;
+    std::vector<double> sample_prob;
+    std::vector<double> u_now;
+    std::vector<StoredMultiplier> us;
+    std::vector<std::uint64_t> row_keys;
+    std::vector<double> expos;
+    ZetaMap zeta;
+    std::vector<std::uint32_t> chunk_cursor;
+    // Per-stage meters, merged (in this order) at the Merge stage.
+    ResourceMeter draw_meter;
+    ResourceMeter offline_meter;
+    ResourceMeter inner_meter;
+  };
+
+  /// Stage 1: alpha from lambda, promise multipliers over all retained
+  /// edges, inclusion probabilities. Returns alpha.
+  double stage_multipliers(const DualState& state, double lambda,
+                           std::size_t round);
+  /// Stage 2: batched draw of all t sparsifiers (charges ctx_.draw_meter).
+  const SamplingRound& stage_draw(std::size_t round);
+  /// Stage 3: launch the offline re-solve on the union as a one-shot job
+  /// (inline when overlap is off or no pool exists).
+  Future<OfflineSolution> stage_offline(const SamplingRound& draws);
+  /// Stage 4: the t inner MW iterations on the stored samples.
+  void stage_inner(const SamplingRound& draws, double alpha,
+                   DualState& state, Incumbent& inc, RoundReport& report);
+  /// Stage 5: join the offline future, fold it into the incumbent, merge
+  /// the stage meters into `meter`, release the round's stored edges.
+  void stage_merge(Future<OfflineSolution>& offline, Incumbent& inc,
+                   ResourceMeter& meter, std::size_t stored_total);
+
+  /// Exponent-shifted covering multipliers u_e (Theorem 5 rule) for the
+  /// given edge ids into `u`, on fixed-grain chunks with exact min/max
+  /// reductions (bitwise thread-count-invariant).
+  void covering_us_into(const DualState& state,
+                        const std::vector<EdgeId>& edges, double alpha,
+                        std::vector<double>& u);
+  /// Chunk-parallel extraction of sparsifier q's (ids, sample_prob) from
+  /// the frozen draw (count pass + exclusive scan + fill pass).
+  void extract_sparsifier(const SamplingRound& draws, std::size_t q);
+  /// Chunk-parallel zeta build: packed row keys, parallel sort + merge
+  /// cascade, exp sweeps with exact max reduction.
+  void build_zeta(const DualState& state);
+
+  const Graph* g_;
+  const LevelGraph* lg_;
+  const Capacities* b_;
+  bool unit_caps_;
+  MicroOracle* oracle_;
+  ThreadPool* pool_;
+  RoundPipelineOptions options_;
+  std::vector<Edge> retained_edges_;
+  SamplingEngine sampler_;
+  CounterRng sample_rng_;
+  RoundContext ctx_;
+};
+
+}  // namespace dp::core

@@ -5,110 +5,14 @@
 
 #include "core/certificate.hpp"
 #include "core/initial.hpp"
+#include "core/round_pipeline.hpp"
 #include "core/sampling.hpp"
-#include "matching/greedy.hpp"
 #include "sparsify/deferred.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dp::core {
-
-namespace {
-
-/// Exponent-shifted covering multipliers u_e = exp(-alpha row_e/wHat_e)/wHat_e
-/// for the given edge ids, clamped to a dynamic range of eps/(4m) so the
-/// number of geometric promise classes stays O(log(m/eps)) (the paper's L0
-/// bound plays the same role). Runs on fixed-grain chunks: the cover_row
-/// reads and exp evaluations are per-element, and the min/max reductions
-/// over chunk partials are exact, so the output is bitwise identical for
-/// any thread count (the oracle sweeps' determinism contract).
-std::vector<double> covering_us(const DualState& state, const LevelGraph& lg,
-                                const std::vector<EdgeId>& edges,
-                                double alpha, ThreadPool* pool,
-                                std::size_t grain) {
-  const std::size_t m = edges.size();
-  if (grain == 0) grain = 1;
-  const std::size_t chunks = m == 0 ? 0 : (m + grain - 1) / grain;
-  std::vector<double> ratio(m, 0.0);
-  std::vector<double> partial(chunks, 1e300);
-  run_chunks(pool, 0, m, grain,
-             [&](std::size_t c, std::size_t lo, std::size_t hi) {
-               double local_min = 1e300;
-               for (std::size_t idx = lo; idx < hi; ++idx) {
-                 const EdgeId e = edges[idx];
-                 const Edge& edge = lg.graph().edge(e);
-                 const int k = lg.level(e);
-                 ratio[idx] =
-                     state.cover_row(edge.u, edge.v, k) / lg.level_weight(k);
-                 local_min = std::min(local_min, ratio[idx]);
-               }
-               partial[c] = local_min;
-             });
-  double min_ratio = 1e300;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    min_ratio = std::min(min_ratio, partial[c]);
-  }
-  std::vector<double> u(m, 0.0);
-  std::fill(partial.begin(), partial.end(), 0.0);
-  run_chunks(pool, 0, m, grain,
-             [&](std::size_t c, std::size_t lo, std::size_t hi) {
-               double local_max = 0;
-               for (std::size_t idx = lo; idx < hi; ++idx) {
-                 const int k = lg.level(edges[idx]);
-                 u[idx] = std::exp(-alpha * (ratio[idx] - min_ratio)) /
-                          lg.level_weight(k);
-                 local_max = std::max(local_max, u[idx]);
-               }
-               partial[c] = local_max;
-             });
-  double u_max = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    u_max = std::max(u_max, partial[c]);
-  }
-  const double floor_value =
-      u_max * lg.eps() / (4.0 * static_cast<double>(m) + 4.0);
-  for (double& value : u) value = std::max(value, floor_value);
-  return u;
-}
-
-double normalized_value(const LevelGraph& lg, const BMatching& bm) {
-  double total = 0;
-  for (EdgeId e = 0; e < bm.num_edges(); ++e) {
-    const std::int64_t y = bm.multiplicity(e);
-    if (y > 0 && lg.level(e) >= 0) {
-      total += static_cast<double>(y) * lg.level_weight(lg.level(e));
-    }
-  }
-  return total;
-}
-
-/// Offline solve on the subgraph spanned by `support` (original weights);
-/// returns the solution lifted back to full-graph edge ids.
-BMatching offline_solve(const Graph& g, const Capacities& b, bool unit_caps,
-                        const std::vector<EdgeId>& support,
-                        const ApproxOptions& offline) {
-  Graph sub(g.num_vertices());
-  for (EdgeId e : support) {
-    const Edge& edge = g.edge(e);
-    sub.add_edge(edge.u, edge.v, edge.w);
-  }
-  BMatching out(g.num_edges());
-  if (unit_caps) {
-    const Matching m = approx_weighted_matching(sub, offline);
-    for (EdgeId local : m.edges()) out.set_multiplicity(support[local], 1);
-  } else {
-    const BMatching bm = approx_weighted_b_matching(sub, b);
-    for (EdgeId local = 0; local < bm.num_edges(); ++local) {
-      if (bm.multiplicity(local) > 0) {
-        out.set_multiplicity(support[local], bm.multiplicity(local));
-      }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 Solver::Solver(const Graph& g, const Capacities& b, SolverOptions options)
     : g_(&g), b_(b), options_(std::move(options)) {}
@@ -144,7 +48,6 @@ SolverResult Solver::solve() {
     result.certified_ratio = 1.0;
     return result;
   }
-  const auto m_retained = static_cast<double>(retained.size());
   const double n = static_cast<double>(g.num_vertices());
 
   // ---- Initial dual solution (Lemma 12). ----
@@ -152,24 +55,8 @@ SolverResult Solver::solve() {
       build_initial(lg, b_, p, rng.next(), &result.meter);
   DualState state(g.num_vertices(), lg.num_levels());
   state.assign(init.x0);
-  double beta = std::max(init.beta0, 1e-12);
 
-  // ---- Best primal so far: offline on the initial support. ----
-  auto consider = [&](const BMatching& bm) {
-    const double value = bm.weight(g);
-    if (value > result.value) {
-      result.value = value;
-      result.b_matching = bm;
-    }
-    const double norm = normalized_value(lg, bm);
-    // Algorithm 2 step 6 with a3 folded into eps: remember the raised beta.
-    if (norm > beta * (1.0 - eps) / (1.0 + eps)) {
-      beta = norm * (1.0 + eps) / (1.0 - eps);
-    }
-  };
-  consider(offline_solve(g, b_, unit_caps, init.support, options_.offline));
-
-  // ---- Outer sampling rounds. ----
+  // ---- Outer-round shape: t sparsifiers per round, round cap. ----
   const double gamma = std::pow(n, 1.0 / (2.0 * p));
   std::size_t t = options_.sparsifiers_per_round;
   if (t == 0) {
@@ -186,12 +73,17 @@ SolverResult Solver::solve() {
   }
 
   MicroOracle oracle(lg, b_, options_.oracle);
-  // The solver-side sweeps (lambda, covering_us) share the oracle's pool
-  // under the same fixed-chunk determinism contract — one solve, one pool.
+  // The pipeline sweeps share the oracle's pool under the same fixed-chunk
+  // determinism contract — one solve, one pool.
   ThreadPool* pool = oracle.worker_pool();
-  const std::size_t grain =
-      std::max<std::size_t>(1, options_.oracle.parallel_grain);
-  DeferredOptions dopt;
+
+  // ---- Staged round pipeline (core/round_pipeline). ----
+  RoundPipelineOptions popt;
+  popt.eps = eps;
+  popt.sparsifiers = t;
+  popt.grain = std::max<std::size_t>(1, options_.oracle.parallel_grain);
+  popt.overlap_offline = options_.pipeline_overlap;
+  popt.offline = options_.offline;
   // Internal sparsifier accuracy is decoupled from eps: the driver
   // re-solves offline on the stored union every round and the dual
   // certificate (objective/lambda) is sound regardless of sparsifier
@@ -200,154 +92,53 @@ SolverResult Solver::solve() {
   // yields linear-in-gamma oversampling — the measured multiplier drift
   // per round sits far below the worst-case gamma^2 (documented deviation
   // in EXPERIMENTS.md).
-  dopt.xi = 0.5;
-  dopt.gamma = std::sqrt(std::max(1.0, gamma));
-  dopt.sampling_constant = 0.25;
+  popt.deferred.xi = 0.5;
+  popt.deferred.gamma = std::sqrt(std::max(1.0, gamma));
+  popt.deferred.sampling_constant = 0.25;
+  // Counter-based draw stream, decoupled from `rng`: draws are pure
+  // functions of (seed, round, q, edge), never of draw order.
+  popt.sample_seed = mix_combine(options_.seed, 0x5a3b'11ce'0fda'7001ULL);
+  RoundPipeline pipeline(g, lg, b_, unit_caps, oracle, popt);
 
-  std::vector<Edge> retained_edges;
-  retained_edges.reserve(retained.size());
-  for (EdgeId e : retained) retained_edges.push_back(g.edge(e));
+  // ---- Best primal so far: offline on the initial support. ----
+  Incumbent inc;
+  inc.best = BMatching(g.num_edges());
+  inc.beta = std::max(init.beta0, 1e-12);
+  pipeline.merge_offline(pipeline.solve_offline(init.support), inc);
 
-  // Batched sampling engine (core/sampling): all t per-round sparsifiers
-  // draw in one chunk-parallel sweep from counter-based randomness, so the
-  // stored sets are bitwise identical for any thread count and for any
-  // access substrate. The seed stream is decoupled from `rng` — draws are
-  // pure functions of (seed, round, q, edge), never of draw order.
-  SamplingEngine sampler(pool, grain);
-  const CounterRng sample_rng(
-      mix_combine(options_.seed, 0x5a3b'11ce'0fda'7001ULL));
-
-  const int levels = lg.num_levels();
+  // ---- Outer sampling rounds. ----
+  const std::size_t grain = popt.grain;
   for (std::size_t round = 0; round < max_rounds; ++round) {
     // lambda and early stopping (Corollary 6's certificate).
     const double lambda = state.lambda(lg, pool, grain);
     result.lambda = lambda;
     if (lambda >= 1.0 - 3.0 * eps) break;
-    if (options_.target_ratio > 0 && result.value > 0 && lambda > 0) {
+    if (options_.target_ratio > 0 && inc.value > 0 && lambda > 0) {
       const double bound = state.objective(b_) / lambda;
       const double bound_orig =
           bound * lg.scale() * (1.0 + eps) + eps * lg.w_star() / 2.0;
-      if (result.value >= options_.target_ratio * bound_orig) break;
+      if (inc.value >= options_.target_ratio * bound_orig) break;
     }
     ++result.outer_rounds;
 
-    // PST multiplier temperature (Theorem 5): alpha ~ ln(m/eps)/(lambda eps).
-    const double lambda_floor =
-        std::max(lambda, eps / std::max(256.0, m_retained));
-    const double alpha =
-        2.0 * std::log(2.0 * m_retained / eps) / (lambda_floor * eps);
+    const RoundPipeline::RoundReport rep =
+        pipeline.run_round(round, lambda, state, inc, result.meter);
+    result.oracle_calls += rep.oracle_calls;
 
-    // Promise multipliers over every retained edge; ONE access round.
-    const std::vector<double> promise =
-        covering_us(state, lg, retained, alpha, pool, grain);
-    const std::vector<double>& prob =
-        sampler.probabilities(g.num_vertices(), retained_edges, promise,
-                              dopt, sample_rng.bits(round, 1));
-
-    // Draw all t deferred sparsifiers in one batched sweep (meters the
-    // round, the pass and the stored incidences).
-    const SamplingRound& draws =
-        sampler.draw(prob, t, round, sample_rng.seed(), &result.meter);
-    const std::size_t stored_total = draws.stored_total();
-
-    // Offline solve on the union (Algorithm 2 step 5).
-    {
-      std::vector<EdgeId> support;
-      support.reserve(draws.union_support().size());
-      for (std::uint32_t idx : draws.union_support()) {
-        support.push_back(retained[idx]);
-      }
-      consider(offline_solve(g, b_, unit_caps, support, options_.offline));
-    }
-
-    // Inner multiplicative-weight iterations on the stored samples.
-    std::size_t round_oracle_calls = 0;
-    std::vector<EdgeId> ids;
-    std::vector<double> sample_prob;
-    for (std::size_t q = 0; q < t; ++q) {
-      // Deferred refinement: evaluate the CURRENT multipliers on exactly
-      // the stored indices (no new data access). Sparsifier q's support is
-      // a bit-filtered walk of the round's union — never materialized.
-      ids.clear();
-      sample_prob.clear();
-      draws.for_each_stored(q, [&](std::uint32_t idx) {
-        ids.push_back(retained[idx]);
-        sample_prob.push_back(prob[idx]);
-      });
-      if (ids.empty()) continue;
-      const std::vector<double> u_now =
-          covering_us(state, lg, ids, alpha, pool, grain);
-      std::vector<StoredMultiplier> us(ids.size());
-      for (std::size_t i = 0; i < ids.size(); ++i) {
-        us[i] = StoredMultiplier{ids[i], u_now[i] / sample_prob[i]};
-      }
-
-      // zeta: packing multipliers on the active outer rows (i, k), built
-      // flat: sort + unique the packed row keys, then append in key order.
-      ZetaMap zeta;
-      {
-        std::vector<std::uint64_t> row_keys;
-        row_keys.reserve(2 * ids.size());
-        for (EdgeId e : ids) {
-          const Edge& edge = g.edge(e);
-          const auto k = static_cast<std::uint64_t>(lg.level(e));
-          row_keys.push_back(static_cast<std::uint64_t>(edge.u) * levels + k);
-          row_keys.push_back(static_cast<std::uint64_t>(edge.v) * levels + k);
-        }
-        std::sort(row_keys.begin(), row_keys.end());
-        row_keys.erase(std::unique(row_keys.begin(), row_keys.end()),
-                       row_keys.end());
-        double max_expo = -1e300;
-        std::vector<double> expos(row_keys.size());
-        const double alpha_p = std::log(2.0 * (row_keys.size() + 1) / eps) *
-                               6.0 / eps;
-        for (std::size_t r = 0; r < row_keys.size(); ++r) {
-          const auto i = static_cast<Vertex>(row_keys[r] / levels);
-          const int k = static_cast<int>(row_keys[r] % levels);
-          const double q_val = 3.0 * lg.level_weight(k);
-          expos[r] = alpha_p * state.po_row(i, k) / q_val;
-          max_expo = std::max(max_expo, expos[r]);
-        }
-        zeta.reserve(row_keys.size());
-        for (std::size_t r = 0; r < row_keys.size(); ++r) {
-          const int k = static_cast<int>(row_keys[r] % levels);
-          zeta.append(row_keys[r], std::exp(expos[r] - max_expo) /
-                                       (3.0 * lg.level_weight(k)));
-        }
-      }
-
-      const MicroResult mr =
-          oracle.run_lagrangian(us, zeta, beta, &round_oracle_calls);
-      result.meter.add_inner_iterations();
-      if (mr.kind == MicroResult::Kind::kPrimal) {
-        // The dual cannot make progress at this beta: the stored edges
-        // carry a matching close to beta (Lemma 13). Raise beta
-        // (Algorithm 3 step 5b) and continue.
-        beta *= (1.0 + eps);
-        continue;
-      }
-      const double sigma =
-          std::min(0.5, eps / (4.0 * alpha * 6.0));  // rho_o = 6 (LP4/LP5)
-      state.blend(mr.x, sigma);
-    }
-    result.oracle_calls += round_oracle_calls;
-    result.meter.add_oracle_calls(round_oracle_calls);
-    // The round's samples are discarded once its iterations finish; peak
-    // space is a per-round quantity.
-    result.meter.release_edges(stored_total);
-
-    result.history.push_back(RoundStats{round + 1, lambda, beta,
-                                        result.value, stored_total,
-                                        round_oracle_calls});
-    DP_INFO("round " << round + 1 << " lambda=" << lambda << " beta=" << beta
-                     << " best=" << result.value
-                     << " stored=" << stored_total);
+    result.history.push_back(RoundStats{round + 1, lambda, inc.beta,
+                                        inc.value, rep.stored_edges,
+                                        rep.oracle_calls});
+    DP_INFO("round " << round + 1 << " lambda=" << lambda
+                     << " beta=" << inc.beta << " best=" << inc.value
+                     << " stored=" << rep.stored_edges);
   }
+  result.value = inc.value;
+  result.b_matching = std::move(inc.best);
 
   // ---- Certificate: explicit dual, verified edge by edge. ----
   const double lambda = state.lambda(lg, pool, grain);
   result.lambda = lambda;
-  result.beta = beta;
+  result.beta = inc.beta;
   // Best verified bound among the multiplicative-weights certificate and
   // the cheap witness duals (the latter floor the guarantee while the dual
   // is still converging).

@@ -19,6 +19,13 @@
 //      dual state is then a feasible dual, certifying near-optimality of
 //      the best primal found (condition (d1)).
 //
+// Steps 1-4 execute as the staged round pipeline of core/round_pipeline
+// (Multipliers -> Draw -> OfflineResolve || InnerRefine -> Merge): the
+// offline re-solve (step 3) runs concurrently with the inner iterations
+// (step 4) — they share only the frozen draw — and their effects join at a
+// single merge point, so the result is bitwise identical to the sequential
+// stage order for any thread count.
+//
 // The solver meters rounds, stored edges and oracle calls, and reports a
 // rigorous dual upper bound: objective(x)/lambda is feasible for LP10/LP11
 // whenever lambda > 0, so value/bound is a true approximation certificate.
@@ -44,6 +51,8 @@ struct SolverOptions {
   /// Cap on outer sampling rounds (0 = automatic: ~4 ceil(p/eps) + 4).
   std::size_t max_outer_rounds = 0;
   /// Sparsifiers (= inner MW iterations) per round (0 = eps^-1 log gamma).
+  /// Clamped to kMaxSparsifiersPerRound (32): the batched sampling engine
+  /// packs the round's inclusion decisions into 32-bit per-edge masks.
   std::size_t sparsifiers_per_round = 0;
   /// Oracle configuration (odd-set separation etc.).
   OracleConfig oracle;
@@ -51,6 +60,10 @@ struct SolverOptions {
   ApproxOptions offline;
   /// Stop as soon as best/bound >= 1 - certified_gap (0 = only lambda rule).
   double target_ratio = 0.0;
+  /// Run the per-round offline re-solve concurrently with the inner MW
+  /// iterations (core/round_pipeline). Off = the sequential stage
+  /// reference; the result is bitwise identical either way.
+  bool pipeline_overlap = true;
 };
 
 struct RoundStats {

@@ -9,6 +9,12 @@
 //     free-edge insertion) to convergence otherwise.
 // The local search alone guarantees >= 1/2 and empirically lands at 0.9+ of
 // optimal (validated against the exact solvers in the test suite).
+//
+// Re-entrancy: every entry point is a pure function of its arguments — all
+// working state (MatchState, sweep orders, the RNG) is local, and the only
+// mutation of the input graph is its mutex-guarded lazy CSR build. The
+// round pipeline relies on this: OfflineResolve calls these solvers on a
+// pool worker concurrently with the inner-iteration sweeps.
 
 #include <cstdint>
 

@@ -26,6 +26,62 @@ std::size_t strength_k_min(std::size_t n) {
              std::ceil(std::log2(static_cast<double>(n) + 2))));
 }
 
+/// Partition the edge set into at most kStrengthRegions vertex-disjoint
+/// buckets of connected components, balanced by edge count (components in
+/// first-appearance order, each assigned to the lightest bucket so far).
+/// Returns the number of buckets and fills scratch.region_offset /
+/// scratch.region_members (edge ids ascending inside each bucket). The
+/// split is a pure function of (n, edges) — never of the thread count.
+std::size_t build_level0_regions(std::size_t n,
+                                 const std::vector<Edge>& edges,
+                                 StrengthScratch& scratch) {
+  const std::size_t m = edges.size();
+  scratch.components.reset(n);
+  for (const Edge& e : edges) scratch.components.unite(e.u, e.v);
+
+  scratch.comp_count.assign(n, 0);
+  scratch.comp_order.clear();
+  for (const Edge& e : edges) {
+    const std::uint32_t root = scratch.components.find(e.u);
+    if (scratch.comp_count[root] == 0) scratch.comp_order.push_back(root);
+    ++scratch.comp_count[root];
+  }
+
+  const std::size_t regions =
+      std::min(kStrengthRegions, scratch.comp_order.size());
+  scratch.comp_bucket.assign(n, 0);
+  std::uint32_t load[kStrengthRegions] = {};
+  for (const std::uint32_t root : scratch.comp_order) {
+    std::size_t lightest = 0;
+    for (std::size_t r = 1; r < regions; ++r) {
+      if (load[r] < load[lightest]) lightest = r;
+    }
+    scratch.comp_bucket[root] = static_cast<std::uint8_t>(lightest);
+    load[lightest] += scratch.comp_count[root];
+  }
+
+  scratch.region_offset.assign(regions + 1, 0);
+  for (const Edge& e : edges) {
+    const std::uint8_t r =
+        scratch.comp_bucket[scratch.components.find(e.u)];
+    ++scratch.region_offset[r + 1];
+  }
+  for (std::size_t r = 0; r < regions; ++r) {
+    scratch.region_offset[r + 1] += scratch.region_offset[r];
+  }
+  scratch.region_members.resize(m);
+  scratch.region_cursor.assign(scratch.region_offset.begin(),
+                               scratch.region_offset.begin() +
+                                   static_cast<std::ptrdiff_t>(regions));
+  for (std::size_t e = 0; e < m; ++e) {
+    const std::uint8_t r =
+        scratch.comp_bucket[scratch.components.find(edges[e].u)];
+    scratch.region_members[scratch.region_cursor[r]++] =
+        static_cast<std::uint32_t>(e);
+  }
+  return regions;
+}
+
 }  // namespace
 
 std::vector<double> estimate_strengths(std::size_t n,
@@ -119,27 +175,43 @@ void estimate_strengths_into(std::size_t n, const std::vector<Edge>& edges,
     }
   }
 
-  // One independent forest-packing job per level, each sequential in edge
-  // order and writing only its own candidate slice — deterministic for any
-  // thread count. Level 0 holds every edge and dominates the critical path.
+  // Independent forest-packing jobs, each sequential in edge order and
+  // writing only its own candidate slice — deterministic for any thread
+  // count. Level 0 holds EVERY edge and used to dominate the critical
+  // path as one serial job; it now splits into vertex-disjoint region
+  // jobs (balanced component buckets). Forest packing never crosses a
+  // component boundary — an edge's placement index depends only on the
+  // earlier edges of its own component — so per-region packing in
+  // ascending edge order reproduces the serial placement indices exactly.
+  // Levels >= 1 are subsamples and stay one job each.
   scratch.candidate.resize(scratch.level_members.size());
-  if (scratch.packers.size() < used_levels) {
-    scratch.packers.resize(used_levels);
+  const std::size_t regions = build_level0_regions(n, edges, scratch);
+  const std::size_t jobs = regions + (used_levels - 1);
+  if (scratch.packers.size() < jobs) {
+    scratch.packers.resize(jobs);
   }
-  run_jobs(pool, used_levels, [&](std::size_t i) {
-    detail::ForestPacker& packer = scratch.packers[i];
+  run_jobs(pool, jobs, [&](std::size_t job) {
+    detail::ForestPacker& packer = scratch.packers[job];
     packer.reset(n);
+    if (job < regions) {
+      // Level 0's CSR positions coincide with edge ids (every edge is a
+      // level-0 member, filled in ascending order).
+      for (std::size_t pos = scratch.region_offset[job];
+           pos < scratch.region_offset[job + 1]; ++pos) {
+        const std::uint32_t e = scratch.region_members[pos];
+        scratch.candidate[e] = static_cast<double>(
+            packer.insert(edges[e].u, edges[e].v));
+      }
+      return;
+    }
+    const std::size_t i = job - regions + 1;
     const double scale = std::pow(2.0, static_cast<double>(i));
     for (std::size_t pos = scratch.level_offset[i];
          pos < scratch.level_offset[i + 1]; ++pos) {
       const std::uint32_t e = scratch.level_members[pos];
       const std::size_t j = packer.insert(edges[e].u, edges[e].v);
-      if (i == 0) {
-        scratch.candidate[pos] = static_cast<double>(j);
-      } else {
-        scratch.candidate[pos] =
-            j >= k_min ? static_cast<double>(j) * scale : 0.0;
-      }
+      scratch.candidate[pos] =
+          j >= k_min ? static_cast<double>(j) * scale : 0.0;
     }
   });
 

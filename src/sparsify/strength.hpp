@@ -18,6 +18,13 @@
 //    every subsampling level packs its forests as an independent job, so the
 //    output is bitwise identical for any thread count; all buffers live in a
 //    caller-owned StrengthScratch so steady-state rounds allocate nothing.
+//    Level 0 (which holds EVERY edge and used to serialize the whole pass)
+//    additionally splits into vertex-disjoint region jobs: connected
+//    components of the input are grouped into at most kStrengthRegions
+//    balanced buckets, and since forest packing never crosses a component
+//    boundary, packing each bucket independently (in ascending edge order)
+//    reproduces the serial placement indices exactly — the split depends
+//    only on the input, never on the thread count.
 
 #include <cstdint>
 #include <vector>
@@ -82,6 +89,12 @@ class ForestPacker {
 
 }  // namespace detail
 
+/// Upper bound on vertex-disjoint region jobs for the level-0 forest
+/// packing (each region job owns its own ForestPacker whose forests carry
+/// n-sized union-find state, so the cap bounds scratch memory; the split
+/// never depends on the pool size).
+inline constexpr std::size_t kStrengthRegions = 8;
+
 /// Reusable buffers for estimate_strengths_into. One scratch serves any
 /// sequence of calls; buffers grow to the high-water mark and stay.
 struct StrengthScratch {
@@ -90,7 +103,15 @@ struct StrengthScratch {
   std::vector<std::uint32_t> level_members;  // edge ids grouped by level
   std::vector<std::uint32_t> cursor;         // fill cursors, one per level
   std::vector<double> candidate;             // per (level, member) strength
-  std::vector<detail::ForestPacker> packers;  // one per level job
+  std::vector<detail::ForestPacker> packers;  // one per region/level job
+  // Level-0 region split (vertex-disjoint component buckets).
+  UnionFind components;
+  std::vector<std::uint32_t> comp_count;      // per root: edge count
+  std::vector<std::uint32_t> comp_order;      // roots by first appearance
+  std::vector<std::uint8_t> comp_bucket;      // per root: region id
+  std::vector<std::uint32_t> region_offset;   // CSR offsets, regions + 1
+  std::vector<std::uint32_t> region_members;  // edge ids grouped by region
+  std::vector<std::uint32_t> region_cursor;   // fill cursors, one per region
 };
 
 /// strength[e] >= 1 for every edge; larger = better connected.

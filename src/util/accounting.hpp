@@ -14,8 +14,17 @@
 namespace dp {
 
 /// Counters for the resource-constrained models of Section 1 of the paper.
-/// All counters are plain (non-atomic); metered phases run single-threaded
-/// or aggregate thread-local meters at phase boundaries.
+/// All counters are plain (non-atomic). Concurrent phases never share one
+/// meter: each stage/thread writes its own ResourceMeter and the owner
+/// aggregates them with merge() at a stage boundary, in a fixed stage
+/// order (the round pipeline's Merge stage is the canonical example) — so
+/// the totals are identical whatever thread interleaving produced them.
+/// merge() adds every running counter and combines peaks as
+/// max(own peak, other's peak, combined running stored). Note this treats
+/// the two meters' transient peaks as NON-concurrent: stages that
+/// genuinely hold storage at the same time must charge the held storage
+/// to one meter (as the pipeline does — the round's stored edges live on
+/// the Draw stage's meter until the post-merge release).
 class ResourceMeter {
  public:
   /// One adaptive sampling round (MapReduce round / sketch epoch).

@@ -4,6 +4,33 @@
 
 namespace dp {
 
+namespace {
+
+/// Per-batch-call completion latch: parallel_for / parallel_chunks join on
+/// one of these instead of the pool-wide idle state, so a batch issued
+/// while an unrelated one-shot job runs never waits for that job. Lives on
+/// the issuing thread's stack; wait() returns only after the last
+/// count_down() has released the mutex, so the lifetime is safe.
+struct BatchLatch {
+  explicit BatchLatch(std::size_t n) : remaining(n) {}
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -40,18 +67,26 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  // A single worker adds no parallelism; run inline so the batch never
+  // queues behind a long-running one-shot job.
+  if (workers_.size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, workers_.size() * 4);
   const std::size_t chunk_size = (n + chunks - 1) / chunks;
-  for (std::size_t c = 0; c < chunks; ++c) {
+  const std::size_t submitted = (n + chunk_size - 1) / chunk_size;
+  BatchLatch latch(submitted);
+  for (std::size_t c = 0; c < submitted; ++c) {
     const std::size_t lo = begin + c * chunk_size;
     const std::size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    submit([lo, hi, &fn] {
+    submit([lo, hi, &fn, &latch] {
       for (std::size_t i = lo; i < hi; ++i) fn(i);
+      latch.count_down();
     });
   }
-  wait_idle();
+  latch.wait();
 }
 
 void ThreadPool::parallel_chunks(
@@ -67,12 +102,16 @@ void ThreadPool::parallel_chunks(
     }
     return;
   }
+  BatchLatch latch(chunks);
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t lo = begin + c * grain;
     const std::size_t hi = std::min(end, lo + grain);
-    submit([c, lo, hi, &fn] { fn(c, lo, hi); });
+    submit([c, lo, hi, &fn, &latch] {
+      fn(c, lo, hi);
+      latch.count_down();
+    });
   }
-  wait_idle();
+  latch.wait();
 }
 
 void ThreadPool::worker_loop() {

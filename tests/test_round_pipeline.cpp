@@ -1,0 +1,155 @@
+// Tests for the staged round pipeline (core/round_pipeline): the offline
+// re-solve overlapped with the inner MW iterations must be bitwise
+// equivalent to the sequential stage order — for the whole SolverResult
+// (value, lambda, beta, certified ratio, per-round history, meter
+// counters) and for 1/2/8 threads — and the offline/merge helpers must
+// behave like Algorithm 2 steps 5/6.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/round_pipeline.hpp"
+#include "core/solver.hpp"
+#include "graph/generators.hpp"
+
+namespace dp::core {
+namespace {
+
+SolverOptions pipeline_options(double eps = 0.2) {
+  SolverOptions opt;
+  opt.eps = eps;
+  opt.p = 2.0;
+  opt.seed = 97;
+  opt.max_outer_rounds = 3;
+  opt.sparsifiers_per_round = 4;
+  return opt;
+}
+
+void expect_bitwise_equal(const SolverResult& a, const SolverResult& b,
+                          const char* label) {
+  EXPECT_EQ(a.value, b.value) << label;
+  EXPECT_EQ(a.dual_bound, b.dual_bound) << label;
+  EXPECT_EQ(a.certified_ratio, b.certified_ratio) << label;
+  EXPECT_EQ(a.lambda, b.lambda) << label;
+  EXPECT_EQ(a.beta, b.beta) << label;
+  EXPECT_EQ(a.outer_rounds, b.outer_rounds) << label;
+  EXPECT_EQ(a.oracle_calls, b.oracle_calls) << label;
+  ASSERT_EQ(a.history.size(), b.history.size()) << label;
+  for (std::size_t r = 0; r < a.history.size(); ++r) {
+    EXPECT_EQ(a.history[r].round, b.history[r].round) << label;
+    EXPECT_EQ(a.history[r].lambda, b.history[r].lambda) << label;
+    EXPECT_EQ(a.history[r].beta, b.history[r].beta) << label;
+    EXPECT_EQ(a.history[r].best_value, b.history[r].best_value) << label;
+    EXPECT_EQ(a.history[r].stored_edges, b.history[r].stored_edges)
+        << label;
+    EXPECT_EQ(a.history[r].oracle_calls, b.history[r].oracle_calls)
+        << label;
+  }
+  // Meter counters: the per-stage thread-local meters must aggregate to
+  // the same totals whatever the thread count or overlap mode.
+  EXPECT_EQ(a.meter.rounds(), b.meter.rounds()) << label;
+  EXPECT_EQ(a.meter.passes(), b.meter.passes()) << label;
+  EXPECT_EQ(a.meter.stored_edges(), b.meter.stored_edges()) << label;
+  EXPECT_EQ(a.meter.peak_edges(), b.meter.peak_edges()) << label;
+  EXPECT_EQ(a.meter.inner_iterations(), b.meter.inner_iterations())
+      << label;
+  EXPECT_EQ(a.meter.oracle_calls(), b.meter.oracle_calls()) << label;
+  for (EdgeId e = 0; e < a.b_matching.num_edges(); ++e) {
+    ASSERT_EQ(a.b_matching.multiplicity(e), b.b_matching.multiplicity(e))
+        << label << " edge " << e;
+  }
+}
+
+TEST(RoundPipeline, BitwiseIdenticalAcrossThreadsAndOverlap) {
+  Graph g = gen::gnm(120, 900, 61);
+  gen::weight_uniform(g, 1.0, 12.0, 62);
+  // Sequential reference: serial stages, one thread.
+  SolverOptions ref_opt = pipeline_options();
+  ref_opt.pipeline_overlap = false;
+  ref_opt.oracle.threads = 1;
+  const SolverResult ref = solve_matching(g, ref_opt);
+  EXPECT_GT(ref.value, 0.0);
+  EXPECT_FALSE(ref.history.empty());
+
+  for (const bool overlap : {false, true}) {
+    for (const std::size_t threads : {1, 2, 8}) {
+      SolverOptions opt = pipeline_options();
+      opt.pipeline_overlap = overlap;
+      opt.oracle.threads = threads;
+      const SolverResult run = solve_matching(g, opt);
+      const std::string label = std::string("overlap=") +
+                                (overlap ? "on" : "off") + " threads=" +
+                                std::to_string(threads);
+      expect_bitwise_equal(ref, run, label.c_str());
+    }
+  }
+}
+
+TEST(RoundPipeline, BitwiseIdenticalForBMatching) {
+  Graph g = gen::gnm(60, 400, 71);
+  gen::weight_uniform(g, 1.0, 8.0, 72);
+  const Capacities b = gen::random_capacities(60, 1, 3, 73);
+  SolverOptions ref_opt = pipeline_options(0.15);
+  ref_opt.pipeline_overlap = false;
+  ref_opt.oracle.threads = 1;
+  const SolverResult ref = solve_b_matching(g, b, ref_opt);
+  for (const std::size_t threads : {2, 8}) {
+    SolverOptions opt = pipeline_options(0.15);
+    opt.pipeline_overlap = true;
+    opt.oracle.threads = threads;
+    const SolverResult run = solve_b_matching(g, b, opt);
+    const std::string label = "bmatching threads=" + std::to_string(threads);
+    expect_bitwise_equal(ref, run, label.c_str());
+  }
+}
+
+TEST(RoundPipeline, SolveOfflineReportsPositiveSupportOnly) {
+  Graph g = gen::gnm(40, 200, 81);
+  gen::weight_uniform(g, 1.0, 6.0, 82);
+  const Capacities b = Capacities::unit(40);
+  const LevelGraph lg(g, b, 0.2);
+  MicroOracle oracle(lg, b, OracleConfig{});
+  RoundPipelineOptions popt;
+  popt.eps = 0.2;
+  RoundPipeline pipeline(g, lg, b, /*unit_caps=*/true, oracle, popt);
+
+  std::vector<EdgeId> support;
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) support.push_back(e);
+  const OfflineSolution sol = pipeline.solve_offline(support);
+  ASSERT_FALSE(sol.support.empty());
+  // The reported support is exactly the positive-multiplicity edges, and
+  // the cached value is the solution's original-weight value.
+  double value = 0;
+  std::size_t positives = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (sol.bm.multiplicity(e) > 0) {
+      ++positives;
+      value += static_cast<double>(sol.bm.multiplicity(e)) * g.edge(e).w;
+    }
+  }
+  EXPECT_EQ(sol.support.size(), positives);
+  for (EdgeId e : sol.support) EXPECT_GT(sol.bm.multiplicity(e), 0);
+  EXPECT_EQ(sol.value, value);
+
+  // merge_offline keeps the better incumbent and raises beta from the
+  // normalized (level-weight) value of the support.
+  Incumbent inc;
+  inc.best = BMatching(g.num_edges());
+  inc.beta = 1e-12;
+  pipeline.merge_offline(sol, inc);
+  EXPECT_EQ(inc.value, sol.value);
+  EXPECT_GT(inc.beta, 1e-12);
+  // A worse solution must not displace the incumbent.
+  OfflineSolution worse;
+  worse.bm = BMatching(g.num_edges());
+  worse.value = 0;
+  const double beta_before = inc.beta;
+  pipeline.merge_offline(worse, inc);
+  EXPECT_EQ(inc.value, sol.value);
+  EXPECT_EQ(inc.beta, beta_before);
+}
+
+}  // namespace
+}  // namespace dp::core

@@ -128,6 +128,17 @@ TEST(Solver, SamplingDeterministicAcrossThreadCounts) {
                 results[i].history[r].stored_edges)
           << "round " << r;
     }
+    // End-to-end meter invariance: the pipeline's per-stage thread-local
+    // meters aggregate to the same totals for every thread count.
+    EXPECT_EQ(results[0].meter.rounds(), results[i].meter.rounds());
+    EXPECT_EQ(results[0].meter.passes(), results[i].meter.passes());
+    EXPECT_EQ(results[0].meter.peak_edges(), results[i].meter.peak_edges());
+    EXPECT_EQ(results[0].meter.stored_edges(),
+              results[i].meter.stored_edges());
+    EXPECT_EQ(results[0].meter.inner_iterations(),
+              results[i].meter.inner_iterations());
+    EXPECT_EQ(results[0].meter.oracle_calls(),
+              results[i].meter.oracle_calls());
   }
 }
 

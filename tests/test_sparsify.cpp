@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "graph/generators.hpp"
+#include "graph/union_find.hpp"
 #include "sparsify/cut_eval.hpp"
 #include "sparsify/cut_sparsifier.hpp"
 #include "sparsify/deferred.hpp"
@@ -40,6 +42,88 @@ TEST(Strength, BridgeIsWeakCliqueIsStrong) {
   clique_avg /= static_cast<double>(strength.size() - 1);
   EXPECT_GT(clique_avg, bridge);
   for (double s : strength) EXPECT_GE(s, 1.0);
+}
+
+/// Several disjoint random blobs plus isolated vertices — the shape the
+/// level-0 region split partitions into vertex-disjoint buckets.
+Graph disconnected_blobs(std::size_t blobs, std::size_t blob_n,
+                         std::size_t blob_m, std::uint64_t seed) {
+  Graph g(blobs * blob_n + 3);  // three isolated vertices at the end
+  Rng rng(seed);
+  for (std::size_t c = 0; c < blobs; ++c) {
+    const auto base = static_cast<Vertex>(c * blob_n);
+    // Spanning path keeps the blob connected, then random extra edges.
+    for (std::size_t v = 1; v < blob_n; ++v) {
+      g.add_edge(base + static_cast<Vertex>(v - 1),
+                 base + static_cast<Vertex>(v));
+    }
+    for (std::size_t e = 0; e + blob_n - 1 < blob_m; ++e) {
+      const auto u = static_cast<Vertex>(rng.uniform(blob_n));
+      const auto v = static_cast<Vertex>(rng.uniform(blob_n));
+      if (u != v) g.add_edge(base + u, base + v);
+    }
+  }
+  return g;
+}
+
+TEST(Strength, RegionPackingMatchesGlobalPlacement) {
+  // The invariant the level-0 region split relies on: forest packing never
+  // crosses a component boundary, so packing each component's edges (in
+  // ascending edge order) with its own packer reproduces the placement
+  // index of one global serial packing.
+  const Graph g = disconnected_blobs(5, 12, 40, 77);
+  const std::size_t n = g.num_vertices();
+  detail::ForestPacker global(n);
+  std::vector<std::size_t> expected(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    expected[e] = global.insert(g.edge(e).u, g.edge(e).v);
+  }
+
+  UnionFind comps(n);
+  for (const Edge& e : g.edges()) comps.unite(e.u, e.v);
+  std::map<std::uint32_t, detail::ForestPacker> per_component;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const std::uint32_t root = comps.find(g.edge(e).u);
+    auto [it, inserted] = per_component.try_emplace(root);
+    if (inserted) it->second.reset(n);
+    EXPECT_EQ(it->second.insert(g.edge(e).u, g.edge(e).v), expected[e])
+        << "edge " << e;
+  }
+  EXPECT_GT(per_component.size(), 1u);
+}
+
+TEST(Strength, IntoIsBitwiseThreadCountInvariant) {
+  // The gate for the region-split parallel path: subsample depths and the
+  // resulting strengths must be bitwise identical for any thread count,
+  // and scratch reuse must not perturb them.
+  const Graph g = disconnected_blobs(6, 20, 90, 91);
+  const std::uint64_t seed = 1234;
+  StrengthScratch scratch;
+  std::vector<double> reference;
+  estimate_strengths_into(g.num_vertices(), g.edges(), seed, reference,
+                          scratch);
+  ASSERT_EQ(reference.size(), g.num_edges());
+  for (double s : reference) EXPECT_GE(s, 1.0);
+  for (const std::size_t threads : {2, 8}) {
+    ThreadPool pool(threads);
+    StrengthScratch fresh;
+    std::vector<double> out;
+    for (int rep = 0; rep < 2; ++rep) {  // second rep reuses the scratch
+      estimate_strengths_into(g.num_vertices(), g.edges(), seed, out, fresh,
+                              &pool);
+      EXPECT_EQ(out, reference) << threads << " threads, rep " << rep;
+    }
+  }
+  // A connected graph (one region) must also be invariant.
+  Graph dense = gen::gnm(40, 300, 15);
+  StrengthScratch dense_scratch;
+  std::vector<double> dense_ref, dense_out;
+  estimate_strengths_into(dense.num_vertices(), dense.edges(), seed,
+                          dense_ref, dense_scratch);
+  ThreadPool pool(4);
+  estimate_strengths_into(dense.num_vertices(), dense.edges(), seed,
+                          dense_out, dense_scratch, &pool);
+  EXPECT_EQ(dense_out, dense_ref);
 }
 
 class SparsifierQualityParam

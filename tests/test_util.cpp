@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/accounting.hpp"
@@ -167,6 +170,72 @@ TEST(ResourceMeter, MergeTakesMaxPeak) {
   EXPECT_EQ(a.stored_edges(), 10u);
 }
 
+TEST(ResourceMeter, MergeAddsCountersAndCombinedStoredRaisesPeak) {
+  ResourceMeter a, b;
+  a.add_round(2);
+  a.add_pass();
+  a.store_edges(60);  // peak 60, still held
+  b.add_round();
+  b.add_inner_iterations(3);
+  b.add_oracle_calls(4);
+  b.add_sketch_words(5);
+  b.add_messages(6);
+  b.store_edges(50);  // peak 50, still held
+  a.merge(b);
+  EXPECT_EQ(a.rounds(), 3u);
+  EXPECT_EQ(a.passes(), 1u);
+  EXPECT_EQ(a.inner_iterations(), 3u);
+  EXPECT_EQ(a.oracle_calls(), 4u);
+  EXPECT_EQ(a.sketch_words(), 5u);
+  EXPECT_EQ(a.messages(), 6u);
+  // Both meters still hold their edges: the combined running total (110)
+  // exceeds either individual peak and becomes the merged peak.
+  EXPECT_EQ(a.stored_edges(), 110u);
+  EXPECT_EQ(a.peak_edges(), 110u);
+}
+
+TEST(ResourceMeter, StageAggregationMatchesDirectMetering) {
+  // The round pipeline's accounting model: concurrent stages write
+  // thread-local meters, merged at the stage boundary in fixed order. The
+  // result must equal metering the same events directly on one meter —
+  // that equality is what makes the counters thread-count-invariant.
+  ResourceMeter direct;
+  direct.add_round();
+  direct.add_pass();
+  direct.store_edges(500);
+  direct.add_inner_iterations(4);
+  direct.add_oracle_calls(9);
+  direct.release_edges(500);
+
+  ResourceMeter total, draw, offline, inner;
+  draw.add_round();
+  draw.add_pass();
+  draw.store_edges(500);
+  offline.store_edges(200);  // transient offline working set
+  offline.release_edges(200);
+  inner.add_inner_iterations(4);
+  inner.add_oracle_calls(9);
+  total.merge(draw);
+  total.merge(offline);
+  total.merge(inner);
+  total.release_edges(500);
+
+  EXPECT_EQ(total.rounds(), direct.rounds());
+  EXPECT_EQ(total.passes(), direct.passes());
+  EXPECT_EQ(total.stored_edges(), direct.stored_edges());
+  EXPECT_EQ(total.peak_edges(), direct.peak_edges());
+  EXPECT_EQ(total.inner_iterations(), direct.inner_iterations());
+  EXPECT_EQ(total.oracle_calls(), direct.oracle_calls());
+}
+
+TEST(ResourceMeter, ReleaseClampsAtZero) {
+  ResourceMeter m;
+  m.store_edges(5);
+  m.release_edges(9);
+  EXPECT_EQ(m.stored_edges(), 0u);
+  EXPECT_EQ(m.peak_edges(), 5u);
+}
+
 TEST(WeightClasses, LevelRoundTrip) {
   const WeightClasses wc(0.5, 1.0);
   EXPECT_EQ(wc.level_of(1.0), 0);
@@ -211,6 +280,62 @@ TEST(ThreadPool, SubmitAndWait) {
 TEST(ThreadPool, EmptyRangeNoOp) {
   ThreadPool pool(2);
   pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, SubmitJobReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  Future<int> f = pool.submit_job([] { return 41 + 1; });
+  ASSERT_TRUE(f.valid());
+  EXPECT_EQ(f.get(), 42);
+  EXPECT_FALSE(f.valid());  // one-shot: get() releases the handle
+  EXPECT_THROW(f.get(), std::logic_error);  // misuse fails detectably
+  Future<int> empty;
+  EXPECT_THROW(empty.wait(), std::logic_error);
+}
+
+TEST(ThreadPool, SubmitJobPropagatesExceptions) {
+  ThreadPool pool(2);
+  Future<int> f =
+      pool.submit_job([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ImmediateFutureAndPoollessHelper) {
+  Future<int> ready = Future<int>::immediate(7);
+  EXPECT_EQ(ready.get(), 7);
+  // The free helper runs inline when no pool exists — same join-point code
+  // path as the overlapped execution.
+  Future<int> inline_f = submit_job(nullptr, [] { return 9; });
+  EXPECT_EQ(inline_f.get(), 9);
+  ThreadPool pool(2);
+  Future<int> pooled = submit_job(&pool, [] { return 11; });
+  EXPECT_EQ(pooled.get(), 11);
+}
+
+TEST(ThreadPool, BatchSweepsDoNotJoinPendingJobs) {
+  // The overlap contract of the round pipeline: parallel_for /
+  // parallel_chunks must complete while an unrelated one-shot job is still
+  // running (they join per-call latches, not the global idle state). Under
+  // the old wait_idle-based join this test would hang.
+  ThreadPool pool(4);
+  std::atomic<bool> release{false};
+  Future<int> job = pool.submit_job([&] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return 7;
+  });
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_chunks(0, 1000, 64,
+                       [&](std::size_t, std::size_t lo, std::size_t hi) {
+                         covered += hi - lo;
+                       });
+  EXPECT_EQ(covered.load(), 1000u);  // finished while the job still runs
+  std::atomic<std::size_t> hits{0};
+  pool.parallel_for(0, 100, [&](std::size_t) { hits++; });
+  EXPECT_EQ(hits.load(), 100u);
+  release = true;
+  EXPECT_EQ(job.get(), 7);
 }
 
 }  // namespace
