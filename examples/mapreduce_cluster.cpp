@@ -3,15 +3,18 @@
 // computed in one MapReduce round (mappers emit per-endpoint records,
 // reducers build vertex sketches), then merged centrally — exactly the
 // two-round schema of Section 4.2. The spanning forest is then extracted
-// with zero further passes, and the dual-primal matcher runs under a
-// reducer-memory cap that would reject any algorithm storing all edges.
+// with zero further passes, and the dual-primal matcher runs END-TO-END on
+// the MapReduce access substrate (src/access/mapreduce): every sampling
+// round is one REAL simulator round — mappers evaluate the counter-based
+// masks over their shards, one reducer per sparsifier collects its support
+// under a memory cap that would reject any algorithm shipping all edges to
+// one place.
 
 #include <algorithm>
 #include <iostream>
-#include <memory>
 #include <mutex>
 
-#include "core/sampling.hpp"
+#include "access/mapreduce.hpp"
 #include "core/solver.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/generators.hpp"
@@ -79,26 +82,6 @@ int main() {
             << " max_reducer_load=" << max_reducer_load
             << " sketch_words=" << sketch_words << "\n";
 
-  // ---- One deferred-sampling round as a MapReduce round: the mappers
-  // evaluate the same counter-based masks the in-memory engine sweeps, so
-  // the stored sparsifiers agree bitwise with the solver's. ----
-  {
-    std::vector<double> prob(g.num_edges(), 0.25);
-    const auto supports =
-        dp::mapreduce::sample_round(sim, prob, /*t=*/4, /*round=*/1,
-                                    /*seed=*/77, &mr_meter);
-    dp::core::SamplingEngine engine;
-    engine.draw(prob, 4, 1, 77);
-    bool agree = true;
-    for (std::size_t q = 0; q < supports.size(); ++q) {
-      agree = agree && supports[q] == engine.last_round().sparsifier(q);
-    }
-    std::cout << "mapreduce sampling round: t=4 supports "
-              << (agree ? "match" : "DIVERGE")
-              << " the in-memory engine, stored="
-              << engine.last_round().stored_total() << "\n";
-  }
-
   // ---- Sketch-based connectivity (1 sampling round, log n uses). ----
   dp::ResourceMeter sketch_meter;
   const auto forest = dp::sketch_spanning_forest(g, 99, &sketch_meter);
@@ -106,18 +89,30 @@ int main() {
             << " (true " << dp::num_components(g) << "), use_steps="
             << forest.use_steps << ", " << sketch_meter.summary() << "\n";
 
-  // ---- Dual-primal matching with the space cap the model imposes. ----
+  // ---- Dual-primal matching END-TO-END on the MapReduce substrate: each
+  // sampling round is one genuine simulator round (map -> shuffle ->
+  // reduce) under the O(n^{1+1/p}) reducer memory cap. ----
+  dp::access::MapReduceSubstrate::Config sub_config;
+  sub_config.machines = 16;
+  sub_config.space_exponent = 2.0;  // reducer cap ~ 8 n^{1.5}
+  dp::access::MapReduceSubstrate substrate(sub_config);
+
   dp::core::SolverOptions options;
   options.eps = 0.2;
   options.p = 2.0;
   options.seed = 5;
   options.max_outer_rounds = 8;
   options.sparsifiers_per_round = 4;
+  options.substrate = &substrate;
   const auto result = dp::core::solve_matching(g, options);
   std::cout << "matching weight=" << result.value
             << " certified_ratio=" << result.certified_ratio
             << " rounds=" << result.outer_rounds << "\n"
-            << "peak stored edges " << result.meter.peak_edges() << " of m="
-            << g.num_edges() << "\n";
+            << "substrate: simulator rounds="
+            << substrate.simulator_rounds() << " (one per sampling round)"
+            << " shuffle volume=" << substrate.meter().messages()
+            << " reducer cap=" << substrate.reducer_memory()
+            << "\npeak stored edges " << substrate.meter().peak_edges()
+            << " of m=" << g.num_edges() << "\n";
   return 0;
 }

@@ -1,12 +1,16 @@
 // Semi-streaming scenario: a power-law "social" graph arrives as a stream
 // of weighted edges (weight = interaction strength). We compare one-pass
-// streaming baselines against the multi-round dual-primal algorithm and
-// report passes/space — the trade-off the paper's title is about: access to
-// data (passes/rounds) versus quality.
+// streaming baselines against the multi-round dual-primal algorithm running
+// END-TO-END on the semi-streaming access substrate (src/access/streaming):
+// every round iteration is exactly one pass over the stream, and between
+// passes only the sampled edges are stored. The passes/space columns are
+// the substrate's own model accounting — the trade-off the paper's title is
+// about: access to data (passes/rounds) versus quality.
 
 #include <iomanip>
 #include <iostream>
 
+#include "access/streaming.hpp"
 #include "baselines/baselines.hpp"
 #include "core/solver.hpp"
 #include "graph/generators.hpp"
@@ -44,6 +48,9 @@ int main() {
     rows.push_back({"improve (1 pass)", m.weight(g), meter.passes(),
                     2 * m.size()});
   }
+  // The real solver on the semi-streaming substrate: one pass per round
+  // iteration, sampled edges as the only between-pass state.
+  dp::access::StreamingSubstrate streaming;
   {
     dp::core::SolverOptions options;
     options.eps = 0.2;
@@ -51,9 +58,17 @@ int main() {
     options.seed = 3;
     options.max_outer_rounds = 8;
     options.sparsifiers_per_round = 4;
+    options.substrate = &streaming;
     const auto result = dp::core::solve_matching(g, options);
-    rows.push_back({"dual-primal (multi-round)", result.value,
-                    result.meter.passes(), result.meter.peak_edges()});
+    rows.push_back({"dual-primal (streaming)", result.value,
+                    streaming.meter().passes(),
+                    streaming.meter().peak_edges()});
+    std::cout << "streaming substrate: rounds="
+              << streaming.meter().rounds() << " passes="
+              << streaming.meter().passes() << " (one per round iteration)"
+              << " peak stored=" << streaming.meter().peak_edges()
+              << " certified_ratio=" << std::fixed << std::setprecision(3)
+              << result.certified_ratio << "\n\n";
   }
   // Strong offline reference on the full graph (not resource constrained).
   dp::ApproxOptions offline;

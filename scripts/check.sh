@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus the hot-path micro benchmark and the round-pipeline
-# determinism gate.
+# Tier-1 verify plus the hot-path micro benchmark and the determinism
+# gates.
 #
-# Configures with DP_WERROR=ON so any -Wall -Wextra warning in src/core is a
-# build failure, runs the full test suite through ctest, runs
+# Configures with DP_WERROR=ON so any -Wall -Wextra warning in src/core is
+# a build failure, runs the full test suite through ctest, runs
 # bench_micro --quick (which also sanity-checks flat-vs-map agreement and
 # refreshes BENCH_micro.json), then bench_runtime (which gates bitwise
 # 1/2/8-thread and pipeline-on/off stability and refreshes
-# BENCH_runtime.json with the overlap speedup column).
+# BENCH_runtime.json with the overlap speedup column) and bench_substrate
+# (which gates the SolverResult bitwise identical across the in-memory /
+# streaming / MapReduce access substrates and refreshes
+# BENCH_substrate.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,4 +22,5 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$JOBS")
 "./$BUILD_DIR/bench_micro" --quick
 "./$BUILD_DIR/bench_runtime"
+"./$BUILD_DIR/bench_substrate"
 echo "check.sh: OK"

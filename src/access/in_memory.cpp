@@ -1,0 +1,27 @@
+#include "access/in_memory.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace dp::access {
+
+void InMemorySubstrate::on_bind() {
+  engine_ = core::SamplingEngine(pool_, grain_);
+}
+
+void InMemorySubstrate::multiplier_sweep(const SweepKernel& kernel) {
+  // RAM model: random access is free; only rounds and stored edges are
+  // model quantities, so the sweep charges nothing.
+  const RetainedEdge* edges = table_.data();
+  run_chunks(pool_, 0, table_.size(), grain_,
+             [&](std::size_t, std::size_t lo, std::size_t hi) {
+               kernel(lo, hi, edges);
+             });
+}
+
+const core::SamplingRound& InMemorySubstrate::draw(
+    const std::vector<double>& prob, std::size_t t, std::uint64_t round,
+    std::uint64_t seed) {
+  return engine_.draw(prob, t, round, seed, &meter_);
+}
+
+}  // namespace dp::access

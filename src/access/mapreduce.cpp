@@ -1,0 +1,56 @@
+#include "access/mapreduce.hpp"
+
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace dp::access {
+
+void MapReduceSubstrate::on_bind() {
+  reducer_memory_ = config_.reducer_memory;
+  if (reducer_memory_ == 0) {
+    const double n = static_cast<double>(n_);
+    const double p = std::max(config_.space_exponent, 1.01);
+    reducer_memory_ =
+        static_cast<std::size_t>(std::ceil(8.0 * std::pow(n, 1.0 + 1.0 / p)))
+        + 64;
+  }
+  mapreduce::Config sim_config;
+  sim_config.machines = config_.machines == 0 ? 1 : config_.machines;
+  sim_config.reducer_memory = reducer_memory_;
+  sim_config.threads = config_.threads;
+  sim_ = std::make_unique<mapreduce::Simulator>(sim_config, &meter_);
+  engine_ = core::SamplingEngine(nullptr, grain_);
+}
+
+void MapReduceSubstrate::multiplier_sweep(const SweepKernel& kernel) {
+  // Map-side computation of the upcoming round: each machine sweeps its
+  // contiguous input shard, dispatched concurrently like the machines the
+  // model describes (the kernel is pure per index, so the output is
+  // bitwise identical to a serial shard walk). The simulator round itself
+  // (and its charge) is the draw's shuffle/reduce.
+  const std::size_t m = table_.size();
+  const std::size_t shards = config_.machines == 0 ? 1 : config_.machines;
+  const std::size_t shard_size = (m + shards - 1) / shards;
+  const RetainedEdge* edges = table_.data();
+  run_jobs(pool_, shards, [&](std::size_t s) {
+    const std::size_t lo = s * shard_size;
+    if (lo >= m) return;
+    const std::size_t hi = std::min(m, lo + shard_size);
+    kernel(lo, hi, edges);
+  });
+}
+
+const core::SamplingRound& MapReduceSubstrate::draw(
+    const std::vector<double>& prob, std::size_t t, std::uint64_t round,
+    std::uint64_t seed) {
+  // One genuine simulator round: mappers evaluate sampling_mask over their
+  // shards, reducer q collects sparsifier q's support under the memory
+  // cap. sample_round charges the pass + stored incidences; the simulator
+  // (sharing the substrate meter) charges the round and shuffle volume.
+  const auto supports =
+      mapreduce::sample_round(*sim_, prob, t, round, seed, &meter_);
+  return engine_.adopt_supports(prob.size(), t, supports);
+}
+
+}  // namespace dp::access

@@ -1,0 +1,67 @@
+#pragma once
+// MapReduce access substrate (the model of Lattanzi et al. SPAA'11, as
+// used by Section 4 of the paper). One sampling round = one REAL simulator
+// round: mappers evaluate the counter-based inclusion masks over their
+// input shards, the shuffle routes (sparsifier, edge) pairs, and one
+// reducer per sparsifier collects its support under the O(n^{1+1/p})
+// reducer-memory cap — which the simulator ENFORCES (a violating solve
+// throws ReducerMemoryExceeded rather than silently overfitting the
+// model). The multiplier sweep runs shard-by-shard as the round's map-side
+// computation; rounds, shuffle volume and stored edges land on the
+// substrate meter.
+
+#include <memory>
+
+#include "access/substrate.hpp"
+#include "mapreduce/mapreduce.hpp"
+
+namespace dp::access {
+
+class MapReduceSubstrate final : public Substrate {
+ public:
+  struct Config {
+    /// Simulated machines (mapper shards).
+    std::size_t machines = 8;
+    /// Per-reducer memory cap; 0 = derive ceil(8 n^{1+1/p}) + 64 from
+    /// space_exponent at bind (the paper's central-processing budget).
+    std::size_t reducer_memory = 0;
+    /// Space exponent p > 1 used when deriving the reducer cap.
+    double space_exponent = 2.0;
+    /// Simulator worker threads (0 = hardware concurrency). Outputs are
+    /// independent of this value.
+    std::size_t threads = 0;
+  };
+
+  MapReduceSubstrate() = default;
+  explicit MapReduceSubstrate(const Config& config) : config_(config) {}
+
+  SubstrateKind kind() const noexcept override {
+    return SubstrateKind::kMapReduce;
+  }
+  const char* name() const noexcept override { return "mapreduce"; }
+
+  void multiplier_sweep(const SweepKernel& kernel) override;
+
+  const core::SamplingRound& draw(const std::vector<double>& prob,
+                                  std::size_t t, std::uint64_t round,
+                                  std::uint64_t seed) override;
+
+  /// The reducer cap in force after bind() (derived or configured).
+  std::size_t reducer_memory() const noexcept { return reducer_memory_; }
+
+  /// Simulator rounds executed so far (== sampling rounds drawn).
+  std::size_t simulator_rounds() const noexcept {
+    return sim_ == nullptr ? 0 : sim_->rounds_executed();
+  }
+
+ protected:
+  void on_bind() override;
+
+ private:
+  Config config_;
+  std::size_t reducer_memory_ = 0;
+  std::unique_ptr<mapreduce::Simulator> sim_;
+  core::SamplingEngine engine_;
+};
+
+}  // namespace dp::access

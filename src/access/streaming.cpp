@@ -1,0 +1,48 @@
+#include "access/streaming.hpp"
+
+#include "util/hash.hpp"
+
+namespace dp::access {
+
+void StreamingSubstrate::on_bind() {
+  stream_ = std::make_unique<EdgeStream>(*g_, nullptr);
+  retained_of_.assign(g_->num_edges(), core::SamplingEngine::kNotRetained);
+  for (std::size_t idx = 0; idx < table_.size(); ++idx) {
+    retained_of_[table_[idx].id] = static_cast<std::uint32_t>(idx);
+  }
+  engine_ = core::SamplingEngine(nullptr, grain_);
+}
+
+void StreamingSubstrate::multiplier_sweep(const SweepKernel& kernel) {
+  // The round's ONE pass over the input. Arrivals come in stream order;
+  // each retained arrival is a one-element kernel range at its retained
+  // index, so the filled buffers are identical to any other backend's.
+  meter_.add_pass();
+  const RetainedEdge* edges = table_.data();
+  const std::uint32_t* retained_of = retained_of_.data();
+  stream_->for_each_pass_indexed([&](EdgeId pos, const Edge&) {
+    const std::uint32_t idx = retained_of[pos];
+    if (idx == core::SamplingEngine::kNotRetained) return;
+    kernel(idx, idx + 1, edges);
+  });
+}
+
+const core::SamplingRound& StreamingSubstrate::draw(
+    const std::vector<double>& prob, std::size_t t, std::uint64_t round,
+    std::uint64_t seed) {
+  // Same pass as the multiplier sweep (already charged): the draw decision
+  // for each arriving edge is evaluated inline and only sampled edges are
+  // stored. The arrival order rotates through a few shuffles so adjacent
+  // rounds see different (adversarial) orders — exercising the
+  // order-invariance of the counter-based masks — while the stream's
+  // per-seed permutation cache stays bounded for arbitrarily long solves.
+  const std::uint64_t order_seed = mix_combine(seed ^ 0x9e37'79b9'7f4a'7c15ULL,
+                                               round & 3);
+  const core::SamplingRound& draws = engine_.draw_stream_mapped(
+      *stream_, retained_of_, order_seed, prob, t, round, seed);
+  meter_.add_round();
+  meter_.store_edges(draws.stored_total());
+  return draws;
+}
+
+}  // namespace dp::access

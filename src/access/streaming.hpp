@@ -1,0 +1,50 @@
+#pragma once
+// Semi-streaming access substrate. Each round iteration makes exactly ONE
+// sequential pass over the edge stream:
+//
+//   - multiplier_sweep consumes the arrivals in stream order, handing each
+//     retained edge to the kernel at its retained index (and charges the
+//     round's single pass);
+//   - the draw re-walks the same (already charged) pass in a per-round
+//     SHUFFLED arrival order — demonstrating that the counter-based masks
+//     are arrival-order-invariant — and stores only the sampled edges.
+//
+// Between passes the algorithm's model state is the stored sample
+// (O(n^{1+1/p}) incidences, metered via store/release) plus the O(n L)
+// dual state; tests gate peak stored edges = o(m). The attribute table of
+// the base class is simulation working memory, not model state.
+
+#include <memory>
+
+#include "access/substrate.hpp"
+#include "stream/edge_stream.hpp"
+
+namespace dp::access {
+
+class StreamingSubstrate final : public Substrate {
+ public:
+  StreamingSubstrate() = default;
+
+  SubstrateKind kind() const noexcept override {
+    return SubstrateKind::kStreaming;
+  }
+  const char* name() const noexcept override { return "streaming"; }
+
+  void multiplier_sweep(const SweepKernel& kernel) override;
+
+  const core::SamplingRound& draw(const std::vector<double>& prob,
+                                  std::size_t t, std::uint64_t round,
+                                  std::uint64_t seed) override;
+
+ protected:
+  void on_bind() override;
+
+ private:
+  // The stream is unmetered: the substrate charges its meter explicitly so
+  // the draw's physical re-walk of the round's pass is not double-counted.
+  std::unique_ptr<EdgeStream> stream_;
+  std::vector<std::uint32_t> retained_of_;  // stream position -> retained idx
+  core::SamplingEngine engine_;             // sequential (no pool)
+};
+
+}  // namespace dp::access

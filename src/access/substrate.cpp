@@ -1,0 +1,42 @@
+#include "access/substrate.hpp"
+
+#include "util/thread_pool.hpp"
+
+namespace dp::access {
+
+void Substrate::bind(const Graph& g, const core::LevelGraph& lg,
+                     ThreadPool* pool, std::size_t grain) {
+  g_ = &g;
+  lg_ = &lg;
+  pool_ = pool;
+  grain_ = grain == 0 ? 1 : grain;
+  n_ = g.num_vertices();
+  meter_.reset();
+
+  const std::vector<EdgeId>& retained = lg.retained();
+  table_.resize(retained.size());
+  edge_view_.resize(retained.size());
+  for (std::size_t idx = 0; idx < retained.size(); ++idx) {
+    const EdgeId e = retained[idx];
+    const Edge& edge = g.edge(e);
+    table_[idx] = RetainedEdge{e, edge.u, edge.v, edge.w, lg.level(e)};
+    edge_view_[idx] = edge;
+  }
+  on_bind();
+}
+
+void Substrate::materialize_union(const std::vector<std::uint32_t>& indices,
+                                  std::vector<EdgeId>& ids,
+                                  std::vector<Edge>& edges) const {
+  ids.clear();
+  edges.clear();
+  ids.reserve(indices.size());
+  edges.reserve(indices.size());
+  for (const std::uint32_t idx : indices) {
+    const RetainedEdge& re = table_[idx];
+    ids.push_back(re.id);
+    edges.push_back(Edge{re.u, re.v, re.w});
+  }
+}
+
+}  // namespace dp::access

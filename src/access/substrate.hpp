@@ -1,0 +1,144 @@
+#pragma once
+// Substrate-agnostic access layer — the "access to data" axis of the paper.
+//
+// Algorithm 2 is ONE dual-primal algorithm across access models: random
+// access (RAM), semi-streaming passes, and MapReduce rounds. Everything the
+// round loop reads from the *input* goes through a Substrate:
+//
+//   - the per-round multiplier sweep over the retained edges (the ratio
+//     kernel behind lambda and the Theorem 5 promise multipliers),
+//   - the batched sampling draw of the t deferred sparsifiers
+//     (core/sampling's counter-based masks), and
+//   - the materialization of the stored union handed to the offline
+//     re-solve.
+//
+// Each backend implements those operations under its own access discipline
+// and meters the quantities its model constrains (ResourceMeter): the
+// in-memory backend charges one round + one pass per draw (the RAM
+// reference), the streaming backend charges exactly ONE pass per round
+// iteration (multipliers, probabilities and the draw all ride the same
+// pass; between passes only the sampled edges count as stored state), and
+// the MapReduce backend executes the draw as a real simulator round
+// (mappers evaluate masks over input shards, one reducer per sparsifier
+// under the O(n^{1+1/p}) memory cap) so rounds, shuffle volume and the
+// reducer cap are enforced, not just reported.
+//
+// Determinism contract: every per-edge quantity is a pure function of the
+// edge's retained index and solver state, reductions are exact (min/max),
+// and the draw masks are pure functions of (seed, round, q, idx) — so for
+// a fixed seed the full SolverResult (value, lambda, beta, certified
+// ratio, history, stored counts) is bitwise identical across all three
+// substrates and across thread counts. Only the meters differ, because
+// the models count different things.
+//
+// Simulation note: backends materialize the retained-edge attribute table
+// (id, endpoints, weight, level) once at bind() as working memory of the
+// SIMULATION. The model's "space" is the stored-edge meter — what the
+// algorithm retains between accesses — which tests gate at o(m).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/sampling.hpp"
+#include "core/weight_levels.hpp"
+#include "graph/graph.hpp"
+#include "util/accounting.hpp"
+
+namespace dp {
+class ThreadPool;
+}
+
+namespace dp::access {
+
+enum class SubstrateKind { kInMemory, kStreaming, kMapReduce };
+
+/// Static attributes of one retained edge, in retained order. Materialized
+/// once per bind; the round loop never touches the Graph directly.
+struct RetainedEdge {
+  EdgeId id = 0;  // full-graph edge id
+  Vertex u = 0;
+  Vertex v = 0;
+  double w = 0;        // original weight
+  std::int32_t level = 0;  // LevelGraph level (>= 0 for retained edges)
+};
+
+/// One access sweep's kernel: fill elementwise outputs for the retained
+/// indices [lo, hi), reading the attribute span. Must be pure per index —
+/// backends are free to split, reorder or parallelize the ranges.
+using SweepKernel =
+    std::function<void(std::size_t lo, std::size_t hi,
+                       const RetainedEdge* edges)>;
+
+class Substrate {
+ public:
+  Substrate() = default;
+  virtual ~Substrate() = default;
+
+  Substrate(const Substrate&) = delete;
+  Substrate& operator=(const Substrate&) = delete;
+
+  virtual SubstrateKind kind() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+
+  /// Attach one solve: materialize the retained-edge attribute table and
+  /// reset the per-solve accounting. `pool`/`grain` follow the solver's
+  /// fixed-chunk determinism contract (outputs never depend on either).
+  /// One solve drives a substrate at a time.
+  void bind(const Graph& g, const core::LevelGraph& lg, ThreadPool* pool,
+            std::size_t grain);
+
+  std::size_t num_vertices() const noexcept { return n_; }
+  std::size_t num_retained() const noexcept { return table_.size(); }
+
+  /// The attribute table (retained order).
+  const std::vector<RetainedEdge>& table() const noexcept { return table_; }
+
+  /// Edge-typed view of the table (same order) for code that consumes
+  /// std::vector<Edge> — e.g. the deferred-probability computation.
+  const std::vector<Edge>& edge_view() const noexcept { return edge_view_; }
+
+  /// Model accounting for the round loop's accesses. Reset by bind().
+  ResourceMeter& meter() noexcept { return meter_; }
+  const ResourceMeter& meter() const noexcept { return meter_; }
+
+  /// The round's multiplier sweep — one logical access to every retained
+  /// edge under this substrate's discipline. The streaming backend charges
+  /// the round's single pass here.
+  virtual void multiplier_sweep(const SweepKernel& kernel) = 0;
+
+  /// The round's batched draw of all t sparsifiers from retained-indexed
+  /// inclusion probabilities. Charges the model's round accounting (and,
+  /// for MapReduce, executes the simulator round). The returned round is
+  /// valid until the next draw.
+  virtual const core::SamplingRound& draw(const std::vector<double>& prob,
+                                          std::size_t t, std::uint64_t round,
+                                          std::uint64_t seed) = 0;
+
+  /// Stored-union materialization: resolve stored retained indices to
+  /// (full-graph id, edge) pairs for the offline re-solve. Reads only the
+  /// stored sample's attributes — no new input access. Thread-safe (the
+  /// table is immutable after bind).
+  void materialize_union(const std::vector<std::uint32_t>& indices,
+                         std::vector<EdgeId>& ids,
+                         std::vector<Edge>& edges) const;
+
+  /// Release the round's stored edges at the pipeline's merge point (peak
+  /// space is a per-round quantity in the paper's model).
+  void release_stored(std::size_t k) noexcept { meter_.release_edges(k); }
+
+ protected:
+  /// Backend hook invoked at the end of bind() (the table is ready).
+  virtual void on_bind() {}
+
+  const Graph* g_ = nullptr;
+  const core::LevelGraph* lg_ = nullptr;
+  ThreadPool* pool_ = nullptr;
+  std::size_t grain_ = 2048;
+  std::size_t n_ = 0;
+  std::vector<RetainedEdge> table_;
+  std::vector<Edge> edge_view_;
+  ResourceMeter meter_;
+};
+
+}  // namespace dp::access

@@ -128,7 +128,11 @@ std::vector<std::vector<Vertex>> OddSetSeparator::exact(
     }
     if (!any_edge) break;
 
-    gomory_hu_from_arena(net_, &alive_, tree_);
+    // Cached Gusfield: when the network is byte-identical to the one the
+    // previous round (or the previous find() call) built the tree from —
+    // i.e. no residual round contracted anything in between — the n-1
+    // max-flows are skipped and the previous arena tree is reused.
+    gomory_hu_from_arena_cached(net_, &alive_, tree_, gh_stamp_);
     candidates_.clear();
     for (std::uint32_t v = 0; v < tree_.size(); ++v) {
       if (v == tree_.root || !alive_[v]) continue;

@@ -92,6 +92,9 @@ class OddSetSeparator {
   // per call without reallocation in the steady state).
   FlowArena net_;
   GomoryHuTree tree_;
+  // Tree-reuse token: a residual round (or a repeat call) whose network is
+  // unchanged since tree_ was built skips Gusfield's n-1 max-flows.
+  GomoryHuStamp gh_stamp_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> raw_;
   std::vector<ArenaEdge> agg_;
   std::vector<std::int64_t> incident_cap_;

@@ -39,27 +39,104 @@ void sort_keys(std::vector<std::uint64_t>& keys, ThreadPool* pool,
   }
 }
 
+/// The compute half of the Theorem 5 multiplier rule, shared by the full
+/// retained sweep and the stored-sample refinement: u_i =
+/// exp(-alpha (ratio_i - min_ratio)) / wHat_{level_at(i)} with an exact
+/// chunked max reduction, then the additive u_max eps / (4 count + 4)
+/// floor. `level_at(i)` must be pure per index.
+template <typename LevelAt>
+void exp_floor_multipliers(ThreadPool* pool, std::size_t grain,
+                           const LevelGraph& lg, double alpha,
+                           double min_ratio, const double* ratio,
+                           std::size_t count, const LevelAt& level_at,
+                           std::vector<double>& u,
+                           std::vector<double>& partial) {
+  const std::size_t chunks = count == 0 ? 0 : (count + grain - 1) / grain;
+  u.assign(count, 0.0);
+  partial.assign(chunks, 0.0);
+  double* out = u.data();
+  double* part = partial.data();
+  run_chunks(pool, 0, count, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_max = 0;
+               for (std::size_t i = lo; i < hi; ++i) {
+                 out[i] = std::exp(-alpha * (ratio[i] - min_ratio)) /
+                          lg.level_weight(level_at(i));
+                 local_max = std::max(local_max, out[i]);
+               }
+               part[c] = local_max;
+             });
+  double u_max = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    u_max = std::max(u_max, part[c]);
+  }
+  const double floor_value =
+      u_max * lg.eps() / (4.0 * static_cast<double>(count) + 4.0);
+  for (double& value : u) value = std::max(value, floor_value);
+}
+
 }  // namespace
 
-RoundPipeline::RoundPipeline(const Graph& g, const LevelGraph& lg,
-                             const Capacities& b, bool unit_caps,
-                             MicroOracle& oracle,
+RoundPipeline::RoundPipeline(access::Substrate& substrate,
+                             const LevelGraph& lg, const Capacities& b,
+                             bool unit_caps, MicroOracle& oracle,
                              RoundPipelineOptions options)
-    : g_(&g),
+    : substrate_(&substrate),
       lg_(&lg),
       b_(&b),
       unit_caps_(unit_caps),
       oracle_(&oracle),
       pool_(oracle.worker_pool()),
       options_(std::move(options)),
-      sampler_(oracle.worker_pool(),
-               options_.grain == 0 ? 1 : options_.grain),
       sample_rng_(options_.sample_seed) {
   if (options_.grain == 0) options_.grain = 1;
   options_.sparsifiers =
       std::min(options_.sparsifiers, kMaxSparsifiersPerRound);
-  retained_edges_.reserve(lg.retained().size());
-  for (EdgeId e : lg.retained()) retained_edges_.push_back(g.edge(e));
+}
+
+double RoundPipeline::open_round(const DualState& state) {
+  const std::size_t m = substrate_->num_retained();
+  if (m == 0) {
+    staged_min_ratio_ = 0.0;
+    return 0.0;
+  }
+  const LevelGraph& lg = *lg_;
+  ctx_.cov_ratio.resize(m);
+  double* ratio = ctx_.cov_ratio.data();
+  // The round's ONE access sweep: ratio_e = cover_row(e) / wHat_level(e)
+  // for every retained edge. Elementwise and pure per index, so every
+  // substrate (parallel chunks, a sequential stream pass, mapper shards)
+  // fills the identical buffer.
+  substrate_->multiplier_sweep(
+      [&state, &lg, ratio](std::size_t lo, std::size_t hi,
+                           const access::RetainedEdge* edges) {
+        for (std::size_t idx = lo; idx < hi; ++idx) {
+          const access::RetainedEdge& re = edges[idx];
+          ratio[idx] =
+              state.cover_row(re.u, re.v, re.level) /
+              lg.level_weight(re.level);
+        }
+      });
+  // Exact min over the staged buffer (pipeline-owned, fixed-grain chunks —
+  // not an input access): this is lambda, the Corollary 6 certificate.
+  const std::size_t grain = options_.grain;
+  const std::size_t chunks = (m + grain - 1) / grain;
+  ctx_.cov_partial.assign(chunks, 1e300);
+  double* partial = ctx_.cov_partial.data();
+  run_chunks(pool_, 0, m, grain,
+             [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               double local_min = 1e300;
+               for (std::size_t idx = lo; idx < hi; ++idx) {
+                 local_min = std::min(local_min, ratio[idx]);
+               }
+               partial[c] = local_min;
+             });
+  double min_ratio = 1e300;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    min_ratio = std::min(min_ratio, partial[c]);
+  }
+  staged_min_ratio_ = min_ratio;
+  return min_ratio;
 }
 
 RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
@@ -68,7 +145,7 @@ RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
                                                     Incumbent& inc,
                                                     ResourceMeter& meter) {
   RoundReport report;
-  const double alpha = stage_multipliers(state, lambda, round);
+  const double alpha = stage_multipliers(lambda, round);
   const SamplingRound& draws = stage_draw(round);
   report.stored_edges = draws.stored_total();
   // OfflineResolve overlaps InnerRefine: the job reads only the frozen
@@ -87,9 +164,10 @@ RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
   return report;
 }
 
-double RoundPipeline::stage_multipliers(const DualState& state, double lambda,
-                                        std::size_t round) {
-  const auto m_retained = static_cast<double>(lg_->retained().size());
+double RoundPipeline::stage_multipliers(double lambda, std::size_t round) {
+  const LevelGraph& lg = *lg_;
+  const std::size_t m = substrate_->num_retained();
+  const auto m_retained = static_cast<double>(m);
   const double eps = options_.eps;
   // PST multiplier temperature (Theorem 5): alpha ~ ln(m/eps)/(lambda eps).
   const double lambda_floor =
@@ -97,33 +175,42 @@ double RoundPipeline::stage_multipliers(const DualState& state, double lambda,
   const double alpha =
       2.0 * std::log(2.0 * m_retained / eps) / (lambda_floor * eps);
 
-  // Promise multipliers over every retained edge; ONE access round.
-  covering_us_into(state, lg_->retained(), alpha, ctx_.promise);
-  ctx_.prob = &sampler_.probabilities(g_->num_vertices(), retained_edges_,
-                                      ctx_.promise, options_.deferred,
-                                      sample_rng_.bits(round, 1));
+  // Promise multipliers from the staged ratios: exp sweep with exact max
+  // reduction, then the additive floor — buffer passes, not input access.
+  const access::RetainedEdge* edges = substrate_->table().data();
+  exp_floor_multipliers(
+      pool_, options_.grain, lg, alpha, staged_min_ratio_,
+      ctx_.cov_ratio.data(), m,
+      [edges](std::size_t idx) { return edges[idx].level; }, ctx_.promise,
+      ctx_.cov_partial);
+
+  // Inclusion probabilities (sparsify/deferred) over the substrate's
+  // edge-typed attribute view; all working memory in reusable scratch.
+  deferred_probabilities_into(substrate_->num_vertices(),
+                              substrate_->edge_view(), ctx_.promise,
+                              options_.deferred, sample_rng_.bits(round, 1),
+                              ctx_.prob, ctx_.deferred_scratch, pool_);
   return alpha;
 }
 
 const SamplingRound& RoundPipeline::stage_draw(std::size_t round) {
-  return sampler_.draw(*ctx_.prob, options_.sparsifiers, round,
-                       sample_rng_.seed(), &ctx_.draw_meter);
+  return substrate_->draw(ctx_.prob, options_.sparsifiers, round,
+                          sample_rng_.seed());
 }
 
 Future<OfflineSolution> RoundPipeline::stage_offline(
     const SamplingRound& draws) {
   const SamplingRound* frozen = &draws;
   auto job = [this, frozen]() {
-    const std::vector<EdgeId>& retained = lg_->retained();
-    std::vector<EdgeId> support;
-    support.reserve(frozen->union_support().size());
-    for (std::uint32_t idx : frozen->union_support()) {
-      support.push_back(retained[idx]);
-    }
-    // The offline working set is a copy of edges the Draw stage already
-    // charged (union <= stored incidences), so it consumes no additional
-    // space budget in the paper's model — no store/release here.
-    return solve_offline(support);
+    // Materialize the union from the substrate's immutable stored-edge
+    // attributes (job-local buffers: the job may run concurrently with
+    // InnerRefine). The offline working set is a copy of edges the Draw
+    // stage already charged (union <= stored incidences), so it consumes
+    // no additional space budget in the paper's model.
+    std::vector<EdgeId> ids;
+    std::vector<Edge> edges;
+    substrate_->materialize_union(frozen->union_support(), ids, edges);
+    return solve_offline(ids, edges);
   };
   if (!options_.overlap_offline || pool_ == nullptr) {
     return Future<OfflineSolution>::immediate(job());
@@ -141,7 +228,7 @@ void RoundPipeline::stage_inner(const SamplingRound& draws, double alpha,
     // bit-filtered extraction of the round's frozen union.
     extract_sparsifier(draws, q);
     if (ctx_.ids.empty()) continue;
-    covering_us_into(state, ctx_.ids, alpha, ctx_.u_now);
+    covering_us_stored(state, alpha, ctx_.u_now);
     ctx_.us.resize(ctx_.ids.size());
     run_chunks(pool_, 0, ctx_.ids.size(), options_.grain,
                [&](std::size_t, std::size_t lo, std::size_t hi) {
@@ -177,45 +264,45 @@ void RoundPipeline::stage_merge(Future<OfflineSolution>& offline,
   merge_offline(sol, inc);
   // Aggregate the per-stage meters in fixed stage order — counter totals
   // are therefore identical whatever thread interleaving produced them.
-  meter.merge(ctx_.draw_meter);
+  // (The draw's round/pass/store counters accumulate on the substrate
+  // meter, which the solver merges once at the end of the solve.)
   meter.merge(ctx_.offline_meter);
   meter.merge(ctx_.inner_meter);
-  ctx_.draw_meter.reset();
   ctx_.offline_meter.reset();
   ctx_.inner_meter.reset();
   // The round's samples are discarded once its iterations finish; peak
   // space is a per-round quantity.
-  meter.release_edges(stored_total);
+  substrate_->release_stored(stored_total);
 }
 
 OfflineSolution RoundPipeline::solve_offline(
-    const std::vector<EdgeId>& support) const {
-  Graph sub(g_->num_vertices());
-  for (EdgeId e : support) {
-    const Edge& edge = g_->edge(e);
+    const std::vector<EdgeId>& ids, const std::vector<Edge>& edges) const {
+  Graph sub(substrate_->num_vertices());
+  for (const Edge& edge : edges) {
     sub.add_edge(edge.u, edge.v, edge.w);
   }
   OfflineSolution out;
-  out.bm = BMatching(g_->num_edges());
+  out.bm = BMatching(lg_->graph().num_edges());
   if (unit_caps_) {
     const Matching m = approx_weighted_matching(sub, options_.offline);
     out.support.reserve(m.size());
     for (EdgeId local : m.edges()) {
-      out.bm.set_multiplicity(support[local], 1);
-      out.support.push_back(support[local]);
+      out.bm.set_multiplicity(ids[local], 1);
+      out.support.push_back(ids[local]);
     }
   } else {
     const BMatching bm = approx_weighted_b_matching(sub, *b_);
     for (EdgeId local = 0; local < bm.num_edges(); ++local) {
       if (bm.multiplicity(local) > 0) {
-        out.bm.set_multiplicity(support[local], bm.multiplicity(local));
-        out.support.push_back(support[local]);
+        out.bm.set_multiplicity(ids[local], bm.multiplicity(local));
+        out.support.push_back(ids[local]);
       }
     }
   }
   std::sort(out.support.begin(), out.support.end());
   for (EdgeId e : out.support) {
-    out.value += static_cast<double>(out.bm.multiplicity(e)) * g_->edge(e).w;
+    out.value += static_cast<double>(out.bm.multiplicity(e)) *
+                 lg_->graph().edge(e).w;
   }
   return out;
 }
@@ -242,27 +329,27 @@ void RoundPipeline::merge_offline(const OfflineSolution& sol,
   }
 }
 
-void RoundPipeline::covering_us_into(const DualState& state,
-                                     const std::vector<EdgeId>& edges,
-                                     double alpha, std::vector<double>& u) {
+void RoundPipeline::covering_us_stored(const DualState& state, double alpha,
+                                       std::vector<double>& u) {
   const LevelGraph& lg = *lg_;
-  const std::size_t m = edges.size();
+  const access::RetainedEdge* table = substrate_->table().data();
+  const std::uint32_t* idxs = ctx_.store_idx.data();
+  const std::size_t s = ctx_.store_idx.size();
   const std::size_t grain = options_.grain;
-  const std::size_t chunks = m == 0 ? 0 : (m + grain - 1) / grain;
-  ctx_.cov_ratio.resize(m);
+  const std::size_t chunks = s == 0 ? 0 : (s + grain - 1) / grain;
+  ctx_.u_now.resize(s);
   ctx_.cov_partial.assign(chunks, 1e300);
-  double* ratio = ctx_.cov_ratio.data();
+  double* ratio = ctx_.cov_ratio.data();  // reuse; sized >= s (s <= m)
   double* partial = ctx_.cov_partial.data();
-  run_chunks(pool_, 0, m, grain,
+  run_chunks(pool_, 0, s, grain,
              [&](std::size_t c, std::size_t lo, std::size_t hi) {
                double local_min = 1e300;
-               for (std::size_t idx = lo; idx < hi; ++idx) {
-                 const EdgeId e = edges[idx];
-                 const Edge& edge = lg.graph().edge(e);
-                 const int k = lg.level(e);
-                 ratio[idx] =
-                     state.cover_row(edge.u, edge.v, k) / lg.level_weight(k);
-                 local_min = std::min(local_min, ratio[idx]);
+               for (std::size_t i = lo; i < hi; ++i) {
+                 const access::RetainedEdge& re = table[idxs[i]];
+                 ratio[i] =
+                     state.cover_row(re.u, re.v, re.level) /
+                     lg.level_weight(re.level);
+                 local_min = std::min(local_min, ratio[i]);
                }
                partial[c] = local_min;
              });
@@ -270,35 +357,18 @@ void RoundPipeline::covering_us_into(const DualState& state,
   for (std::size_t c = 0; c < chunks; ++c) {
     min_ratio = std::min(min_ratio, partial[c]);
   }
-  u.assign(m, 0.0);
-  std::fill(ctx_.cov_partial.begin(), ctx_.cov_partial.end(), 0.0);
-  double* out = u.data();
-  run_chunks(pool_, 0, m, grain,
-             [&](std::size_t c, std::size_t lo, std::size_t hi) {
-               double local_max = 0;
-               for (std::size_t idx = lo; idx < hi; ++idx) {
-                 const int k = lg.level(edges[idx]);
-                 out[idx] = std::exp(-alpha * (ratio[idx] - min_ratio)) /
-                            lg.level_weight(k);
-                 local_max = std::max(local_max, out[idx]);
-               }
-               partial[c] = local_max;
-             });
-  double u_max = 0;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    u_max = std::max(u_max, partial[c]);
-  }
-  const double floor_value =
-      u_max * lg.eps() / (4.0 * static_cast<double>(m) + 4.0);
-  for (double& value : u) value = std::max(value, floor_value);
+  exp_floor_multipliers(
+      pool_, grain, lg, alpha, min_ratio, ratio, s,
+      [table, idxs](std::size_t i) { return table[idxs[i]].level; }, u,
+      ctx_.cov_partial);
 }
 
 void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
                                        std::size_t q) {
   const std::vector<std::uint32_t>& uni = draws.union_support();
   const std::uint32_t* masks = draws.masks().data();
-  const std::vector<EdgeId>& retained = lg_->retained();
-  const std::vector<double>& prob = *ctx_.prob;
+  const access::RetainedEdge* table = substrate_->table().data();
+  const std::vector<double>& prob = ctx_.prob;
   const std::size_t u_size = uni.size();
   const std::size_t grain = options_.grain;
   const std::size_t chunks =
@@ -319,8 +389,10 @@ void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
     cursor[c] = total;
     total += count;
   }
+  ctx_.store_idx.resize(total);
   ctx_.ids.resize(total);
   ctx_.sample_prob.resize(total);
+  std::uint32_t* sidx = ctx_.store_idx.data();
   EdgeId* ids = ctx_.ids.data();
   double* sp = ctx_.sample_prob.data();
   run_chunks(pool_, 0, u_size, grain,
@@ -329,7 +401,8 @@ void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
                for (std::size_t i = lo; i < hi; ++i) {
                  const std::uint32_t idx = uni[i];
                  if ((masks[idx] >> q) & 1u) {
-                   ids[cur] = retained[idx];
+                   sidx[cur] = idx;
+                   ids[cur] = table[idx].id;
                    sp[cur] = prob[idx];
                    ++cur;
                  }
@@ -338,11 +411,11 @@ void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
 }
 
 void RoundPipeline::build_zeta(const DualState& state) {
-  const Graph& g = *g_;
   const LevelGraph& lg = *lg_;
+  const access::RetainedEdge* table = substrate_->table().data();
   const double eps = options_.eps;
   const auto levels = static_cast<std::uint64_t>(lg.num_levels());
-  const std::size_t s = ctx_.ids.size();
+  const std::size_t s = ctx_.store_idx.size();
   const std::size_t grain = options_.grain;
 
   // zeta: packing multipliers on the active outer rows (i, k), built flat:
@@ -350,17 +423,16 @@ void RoundPipeline::build_zeta(const DualState& state) {
   // chunk-parallel exp sweeps (the max reduction is exact).
   ctx_.row_keys.resize(2 * s);
   std::uint64_t* row_keys = ctx_.row_keys.data();
-  const EdgeId* ids = ctx_.ids.data();
+  const std::uint32_t* idxs = ctx_.store_idx.data();
   run_chunks(pool_, 0, s, grain,
              [&](std::size_t, std::size_t lo, std::size_t hi) {
                for (std::size_t i = lo; i < hi; ++i) {
-                 const EdgeId e = ids[i];
-                 const Edge& edge = g.edge(e);
-                 const auto k = static_cast<std::uint64_t>(lg.level(e));
+                 const access::RetainedEdge& re = table[idxs[i]];
+                 const auto k = static_cast<std::uint64_t>(re.level);
                  row_keys[2 * i] =
-                     static_cast<std::uint64_t>(edge.u) * levels + k;
+                     static_cast<std::uint64_t>(re.u) * levels + k;
                  row_keys[2 * i + 1] =
-                     static_cast<std::uint64_t>(edge.v) * levels + k;
+                     static_cast<std::uint64_t>(re.v) * levels + k;
                }
              });
   sort_keys(ctx_.row_keys, pool_, grain);

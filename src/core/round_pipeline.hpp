@@ -2,51 +2,59 @@
 // Staged round pipeline — the execution engine behind one adaptive sampling
 // round of Algorithm 2 (the body of Solver::solve's outer loop).
 //
-// A round decomposes into five explicit stages over a RoundContext that
-// owns the per-round buffers of the Multipliers/Draw/InnerRefine stages
-// (those allocate nothing in steady state; OfflineResolve builds its own
-// working set per round — one job in flight at a time, off the critical
-// path when overlapped):
+// A round decomposes into explicit stages over a RoundContext that owns the
+// per-round buffers of the Multipliers/Draw/InnerRefine stages (those
+// allocate nothing in steady state; OfflineResolve builds its own working
+// set per round — one job in flight at a time, off the critical path when
+// overlapped):
 //
 //   Multipliers ──> Draw ──┬── OfflineResolve ──┐
 //                          └── InnerRefine ─────┴──> Merge
 //
-//  - Multipliers: exponential covering multipliers u over all retained
-//    edges (Theorem 5 rule) and the deferred-sparsifier inclusion
-//    probabilities (sparsify/deferred) — the round's ONE access to data.
-//  - Draw: all t deferred sparsifiers in one batched counter-based sweep
-//    (core/sampling). The draw output is frozen until Merge.
+//  - open_round (the Multipliers stage's access half): ONE substrate sweep
+//    over the retained edges filling the covering ratios, whose exact min
+//    is lambda — the Corollary 6 stopping certificate. The solver checks
+//    the stopping rule on the returned lambda; if the round proceeds, the
+//    staged ratios feed the rest of Multipliers without another access.
+//  - Multipliers: exponential covering multipliers u (Theorem 5 rule) from
+//    the staged ratios, then the deferred-sparsifier inclusion
+//    probabilities (sparsify/deferred).
+//  - Draw: all t deferred sparsifiers through the access substrate
+//    (core/sampling masks — in-memory sweep, streaming pass, or a real
+//    MapReduce simulator round). The draw output is frozen until Merge.
 //  - OfflineResolve: the offline (1-a3)-approximation on the union of
 //    stored edges (Algorithm 2 step 5). Pure function of the frozen draw —
-//    it writes only its own OfflineSolution — so it runs as a one-shot
-//    pool job CONCURRENTLY with InnerRefine.
+//    the union is materialized from the substrate's immutable stored-edge
+//    attributes — so it runs as a one-shot pool job CONCURRENTLY with
+//    InnerRefine.
 //  - InnerRefine: the t inner multiplicative-weight iterations on the
 //    stored samples (deferred refinement + MiniOracle + PST blend). Reads
 //    the frozen draw and mutates only the dual state and the incumbent's
 //    beta (Algorithm 3 step 5b raises).
 //  - Merge: the single join point. Joins the OfflineResolve future, folds
 //    the offline solution into the incumbent (best value + beta raise,
-//    Algorithm 2 step 6), and aggregates the per-stage ResourceMeters into
-//    the solve meter in fixed stage order (Draw, OfflineResolve,
-//    InnerRefine).
+//    Algorithm 2 step 6), aggregates the per-stage ResourceMeters into the
+//    solve meter in fixed stage order, and releases the round's stored
+//    edges on the substrate meter.
 //
 // Determinism contract (extending the fixed-chunk contract): OfflineResolve
-// and InnerRefine share only immutable inputs (the graph, the frozen draw,
-// the union support), every InnerRefine sweep runs on fixed-grain chunks
-// with exact (min/max) or per-slot reductions, and all cross-stage effects
-// land at Merge — so the pipelined round is bitwise identical to executing
-// the same stages sequentially, for any thread count (gated for 1/2/8
-// threads by tests/test_round_pipeline.cpp and bench_runtime).
+// and InnerRefine share only immutable inputs (the substrate's attribute
+// table, the frozen draw, the union support), every sweep runs on fixed
+// chunks with exact (min/max) reductions, and all cross-stage effects land
+// at Merge — so the pipelined round is bitwise identical to executing the
+// same stages sequentially, for any thread count AND for any access
+// substrate (gated by tests/test_round_pipeline.cpp, tests/
+// test_substrate.cpp, bench_runtime and bench_substrate).
 //
-// The stage seams are substrate-agnostic on purpose: Draw already has
-// in-memory / semi-streaming / MapReduce implementations behind the same
-// SamplingRound surface (core/sampling), and a future substrate only needs
-// to reproduce that surface — Multipliers, InnerRefine and Merge never see
-// where the stored edges came from.
+// Access discipline: the pipeline touches the INPUT only through the
+// substrate (open_round's sweep, the draw, and the stored-union
+// materialization). Everything else reads solver-owned state: the dual
+// iterate, level metadata, and the stored samples' attributes.
 
 #include <cstdint>
 #include <vector>
 
+#include "access/substrate.hpp"
 #include "core/dual_state.hpp"
 #include "core/oracle.hpp"
 #include "core/sampling.hpp"
@@ -99,11 +107,12 @@ struct RoundPipelineOptions {
 
 class RoundPipeline {
  public:
-  /// `g`, `lg`, `b` and `oracle` must outlive the pipeline. The pipeline
-  /// shares the oracle's worker pool for every stage sweep and for the
-  /// OfflineResolve job — one solve, one pool.
-  RoundPipeline(const Graph& g, const LevelGraph& lg, const Capacities& b,
-                bool unit_caps, MicroOracle& oracle,
+  /// `substrate` must be bound to the same (graph, level graph) as `lg`;
+  /// all of `substrate`, `lg`, `b` and `oracle` must outlive the pipeline.
+  /// The pipeline shares the oracle's worker pool for every buffer sweep
+  /// and for the OfflineResolve job — one solve, one pool.
+  RoundPipeline(access::Substrate& substrate, const LevelGraph& lg,
+                const Capacities& b, bool unit_caps, MicroOracle& oracle,
                 RoundPipelineOptions options);
 
   struct RoundReport {
@@ -111,16 +120,27 @@ class RoundPipeline {
     std::size_t oracle_calls = 0;
   };
 
-  /// Execute one full round: Multipliers -> Draw -> OfflineResolve (async)
-  /// with InnerRefine -> Merge. `lambda` is the round's certificate value
-  /// (sets the PST temperature alpha). Mutates the dual state and the
-  /// incumbent; merges all per-stage meters into `meter` at the join point.
+  /// The round's opening access: one substrate multiplier sweep filling
+  /// the covering ratios; returns lambda = min ratio (the stopping
+  /// certificate). On the streaming substrate this charges the round
+  /// iteration's single pass. The staged ratios stay valid for the next
+  /// run_round call, provided the dual state is not mutated in between.
+  double open_round(const DualState& state);
+
+  /// Execute the rest of the round on the ratios staged by open_round:
+  /// Multipliers -> Draw -> OfflineResolve (async) with InnerRefine ->
+  /// Merge. `lambda` must be open_round's return value (sets the PST
+  /// temperature alpha). Mutates the dual state and the incumbent; merges
+  /// the per-stage meters into `meter` at the join point.
   RoundReport run_round(std::size_t round, double lambda, DualState& state,
                         Incumbent& inc, ResourceMeter& meter);
 
-  /// Offline re-solve on an explicit support (full-graph edge ids). The
-  /// initial support and the per-round union both route through here.
-  OfflineSolution solve_offline(const std::vector<EdgeId>& support) const;
+  /// Offline re-solve on an explicit stored subgraph: full-graph edge ids
+  /// plus their attributes (parallel arrays). The initial support and the
+  /// per-round union both route through here; only stored-edge data is
+  /// read.
+  OfflineSolution solve_offline(const std::vector<EdgeId>& ids,
+                                const std::vector<Edge>& edges) const;
 
   /// Algorithm 2 step 6: fold an offline solution into the incumbent —
   /// remember the best integral solution and raise beta when the
@@ -130,15 +150,15 @@ class RoundPipeline {
  private:
   /// Reusable per-round scratch; every stage writes only its own buffers.
   struct RoundContext {
-    // Multipliers stage.
+    // open_round / Multipliers stage.
+    std::vector<double> cov_ratio;    // staged covering ratios
+    std::vector<double> cov_partial;  // chunked exact reductions
     std::vector<double> promise;
-    const std::vector<double>* prob = nullptr;  // engine-owned buffer
-    // covering_us_into scratch (shared by Multipliers and InnerRefine —
-    // the stages never run concurrently with each other).
-    std::vector<double> cov_ratio;
-    std::vector<double> cov_partial;
+    std::vector<double> prob;
+    DeferredScratch deferred_scratch;
     // InnerRefine stage.
-    std::vector<EdgeId> ids;
+    std::vector<std::uint32_t> store_idx;  // retained indices, per q
+    std::vector<EdgeId> ids;               // full-graph ids, parallel
     std::vector<double> sample_prob;
     std::vector<double> u_now;
     std::vector<StoredMultiplier> us;
@@ -146,17 +166,16 @@ class RoundPipeline {
     std::vector<double> expos;
     ZetaMap zeta;
     std::vector<std::uint32_t> chunk_cursor;
-    // Per-stage meters, merged (in this order) at the Merge stage.
-    ResourceMeter draw_meter;
+    // Per-stage meters, merged (in this order) at the Merge stage. The
+    // draw's round/pass/store accounting lives on the substrate meter.
     ResourceMeter offline_meter;
     ResourceMeter inner_meter;
   };
 
-  /// Stage 1: alpha from lambda, promise multipliers over all retained
-  /// edges, inclusion probabilities. Returns alpha.
-  double stage_multipliers(const DualState& state, double lambda,
-                           std::size_t round);
-  /// Stage 2: batched draw of all t sparsifiers (charges ctx_.draw_meter).
+  /// Stage 1 (compute half): alpha from lambda, promise multipliers from
+  /// the staged ratios, inclusion probabilities. Returns alpha.
+  double stage_multipliers(double lambda, std::size_t round);
+  /// Stage 2: batched draw of all t sparsifiers through the substrate.
   const SamplingRound& stage_draw(std::size_t round);
   /// Stage 3: launch the offline re-solve on the union as a one-shot job
   /// (inline when overlap is off or no pool exists).
@@ -170,28 +189,27 @@ class RoundPipeline {
                    ResourceMeter& meter, std::size_t stored_total);
 
   /// Exponent-shifted covering multipliers u_e (Theorem 5 rule) for the
-  /// given edge ids into `u`, on fixed-grain chunks with exact min/max
-  /// reductions (bitwise thread-count-invariant).
-  void covering_us_into(const DualState& state,
-                        const std::vector<EdgeId>& edges, double alpha,
-                        std::vector<double>& u);
-  /// Chunk-parallel extraction of sparsifier q's (ids, sample_prob) from
-  /// the frozen draw (count pass + exclusive scan + fill pass).
+  /// stored sample in ctx_.store_idx into `u`, on fixed-grain chunks with
+  /// exact min/max reductions (bitwise thread-count-invariant). Reads only
+  /// stored-edge attributes (deferred refinement: no new data access).
+  void covering_us_stored(const DualState& state, double alpha,
+                          std::vector<double>& u);
+  /// Chunk-parallel extraction of sparsifier q's (store_idx, ids,
+  /// sample_prob) from the frozen draw (count + exclusive scan + fill).
   void extract_sparsifier(const SamplingRound& draws, std::size_t q);
   /// Chunk-parallel zeta build: packed row keys, parallel sort + merge
   /// cascade, exp sweeps with exact max reduction.
   void build_zeta(const DualState& state);
 
-  const Graph* g_;
+  access::Substrate* substrate_;
   const LevelGraph* lg_;
   const Capacities* b_;
   bool unit_caps_;
   MicroOracle* oracle_;
   ThreadPool* pool_;
   RoundPipelineOptions options_;
-  std::vector<Edge> retained_edges_;
-  SamplingEngine sampler_;
   CounterRng sample_rng_;
+  double staged_min_ratio_ = 0.0;  // open_round's exact min (= lambda)
   RoundContext ctx_;
 };
 

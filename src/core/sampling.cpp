@@ -100,6 +100,52 @@ const SamplingRound& SamplingEngine::draw_stream(
   return round_;
 }
 
+const SamplingRound& SamplingEngine::draw_stream_mapped(
+    const EdgeStream& stream, const std::vector<std::uint32_t>& retained_of,
+    std::uint64_t order_seed, const std::vector<double>& prob, std::size_t t,
+    std::uint64_t round, std::uint64_t seed) {
+  check_t(t);
+  if (retained_of.size() != stream.num_edges()) {
+    throw std::invalid_argument(
+        "SamplingEngine::draw_stream_mapped: map/stream size mismatch");
+  }
+  round_.t_ = t;
+  round_.masks_.assign(prob.size(), 0);
+  const CounterRng round_rng = sampling_round_rng(seed, round);
+  // Sequential pass in an arbitrary (seed-shuffled) arrival order: the
+  // mask of retained index idx is the same pure function of
+  // (seed, round, q, idx) every other substrate evaluates, so the arrival
+  // permutation cannot change the stored sets.
+  stream.for_each_pass_shuffled_indexed(
+      order_seed, [&](EdgeId pos, const Edge&) {
+        const std::uint32_t idx = retained_of[pos];
+        if (idx == kNotRetained) return;
+        round_.masks_[idx] = sampling_mask(round_rng, t, idx, prob[idx]);
+      });
+  extract_union();
+  return round_;
+}
+
+const SamplingRound& SamplingEngine::adopt_supports(
+    std::size_t num_edges, std::size_t t,
+    const std::vector<std::vector<std::uint32_t>>& supports) {
+  check_t(t);
+  if (supports.size() != t) {
+    throw std::invalid_argument(
+        "SamplingEngine::adopt_supports: expected one support per "
+        "sparsifier");
+  }
+  round_.t_ = t;
+  round_.masks_.assign(num_edges, 0);
+  for (std::size_t q = 0; q < t; ++q) {
+    for (const std::uint32_t idx : supports[q]) {
+      round_.masks_[idx] |= std::uint32_t{1} << q;
+    }
+  }
+  extract_union();
+  return round_;
+}
+
 void SamplingEngine::extract_union() {
   const std::size_t m = round_.masks_.size();
   const std::size_t chunks = m == 0 ? 0 : (m + grain_ - 1) / grain_;

@@ -180,6 +180,30 @@ class SamplingEngine {
                                    std::size_t t, std::uint64_t round,
                                    std::uint64_t seed);
 
+  /// Sentinel for draw_stream_mapped's position map: stream position is
+  /// not a retained edge.
+  static constexpr std::uint32_t kNotRetained = ~std::uint32_t{0};
+
+  /// Streaming-substrate draw: one sequential pass over `stream` in the
+  /// shuffled arrival order of `order_seed` (modeling adversarial arrival;
+  /// masks are pure functions of the retained index, so the stored sets
+  /// are bitwise identical to draw() regardless of order). `retained_of`
+  /// maps each stream position (graph edge id) to its retained index, or
+  /// kNotRetained for dropped edges; `prob` is retained-indexed. Charges
+  /// nothing — the caller owns the round's pass accounting.
+  const SamplingRound& draw_stream_mapped(
+      const EdgeStream& stream, const std::vector<std::uint32_t>& retained_of,
+      std::uint64_t order_seed, const std::vector<double>& prob,
+      std::size_t t, std::uint64_t round, std::uint64_t seed);
+
+  /// MapReduce-substrate adoption: rebuild the round from per-sparsifier
+  /// supports (reducer outputs, each ascending). Produces the same masks /
+  /// union / stored_total as draw() would for the probabilities the
+  /// mappers evaluated. Charges nothing.
+  const SamplingRound& adopt_supports(
+      std::size_t num_edges, std::size_t t,
+      const std::vector<std::vector<std::uint32_t>>& supports);
+
   const SamplingRound& last_round() const noexcept { return round_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "access/in_memory.hpp"
 #include "core/certificate.hpp"
 #include "core/initial.hpp"
 #include "core/round_pipeline.hpp"
@@ -98,20 +99,40 @@ SolverResult Solver::solve() {
   // Counter-based draw stream, decoupled from `rng`: draws are pure
   // functions of (seed, round, q, edge), never of draw order.
   popt.sample_seed = mix_combine(options_.seed, 0x5a3b'11ce'0fda'7001ULL);
-  RoundPipeline pipeline(g, lg, b_, unit_caps, oracle, popt);
+
+  // ---- Access substrate: ALL input access of the round loop goes
+  // through it (src/access). The default is the in-memory reference; a
+  // caller-provided streaming / MapReduce backend runs the identical
+  // algorithm under that model's access discipline and metering.
+  access::InMemorySubstrate default_substrate;
+  access::Substrate* substrate = options_.substrate != nullptr
+                                     ? options_.substrate
+                                     : &default_substrate;
+  substrate->bind(g, lg, pool, popt.grain);
+
+  RoundPipeline pipeline(*substrate, lg, b_, unit_caps, oracle, popt);
 
   // ---- Best primal so far: offline on the initial support. ----
   Incumbent inc;
   inc.best = BMatching(g.num_edges());
   inc.beta = std::max(init.beta0, 1e-12);
-  pipeline.merge_offline(pipeline.solve_offline(init.support), inc);
+  {
+    std::vector<Edge> init_edges;
+    init_edges.reserve(init.support.size());
+    for (EdgeId e : init.support) init_edges.push_back(g.edge(e));
+    pipeline.merge_offline(pipeline.solve_offline(init.support, init_edges),
+                           inc);
+  }
 
   // ---- Outer sampling rounds. ----
-  const std::size_t grain = popt.grain;
+  bool lambda_fresh = false;
   for (std::size_t round = 0; round < max_rounds; ++round) {
-    // lambda and early stopping (Corollary 6's certificate).
-    const double lambda = state.lambda(lg, pool, grain);
+    // lambda and early stopping (Corollary 6's certificate): the round's
+    // opening substrate sweep — on the streaming backend this is the
+    // iteration's single pass, shared with the multiplier stage.
+    const double lambda = pipeline.open_round(state);
     result.lambda = lambda;
+    lambda_fresh = true;
     if (lambda >= 1.0 - 3.0 * eps) break;
     if (options_.target_ratio > 0 && inc.value > 0 && lambda > 0) {
       const double bound = state.objective(b_) / lambda;
@@ -123,6 +144,7 @@ SolverResult Solver::solve() {
 
     const RoundPipeline::RoundReport rep =
         pipeline.run_round(round, lambda, state, inc, result.meter);
+    lambda_fresh = false;
     result.oracle_calls += rep.oracle_calls;
 
     result.history.push_back(RoundStats{round + 1, lambda, inc.beta,
@@ -135,9 +157,10 @@ SolverResult Solver::solve() {
   result.value = inc.value;
   result.b_matching = std::move(inc.best);
 
-  // ---- Certificate: explicit dual, verified edge by edge. ----
-  const double lambda = state.lambda(lg, pool, grain);
-  result.lambda = lambda;
+  // ---- Certificate: explicit dual, verified edge by edge. The final
+  // lambda needs one more sweep only when the loop exhausted its round
+  // budget (a break leaves the staged lambda fresh). ----
+  if (!lambda_fresh) result.lambda = pipeline.open_round(state);
   result.beta = inc.beta;
   // Best verified bound among the multiplicative-weights certificate and
   // the cheap witness duals (the latter floor the guarantee while the dual
@@ -146,6 +169,11 @@ SolverResult Solver::solve() {
   result.dual_bound = std::max(result.dual_bound, result.value);
   result.certified_ratio =
       result.dual_bound > 0 ? result.value / result.dual_bound : 1.0;
+
+  // The substrate's model accounting (rounds, passes, stored peaks,
+  // shuffle volume) folds into the solve meter; per-substrate inspection
+  // stays available on the substrate itself.
+  result.meter.merge(substrate->meter());
 
   // Plain matching view for unit capacities.
   if (unit_caps) {

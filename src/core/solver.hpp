@@ -40,6 +40,10 @@
 #include "matching/matching.hpp"
 #include "util/accounting.hpp"
 
+namespace dp::access {
+class Substrate;
+}
+
 namespace dp::core {
 
 struct SolverOptions {
@@ -64,6 +68,14 @@ struct SolverOptions {
   /// iterations (core/round_pipeline). Off = the sequential stage
   /// reference; the result is bitwise identical either way.
   bool pipeline_overlap = true;
+  /// Access substrate the whole solve runs through (src/access): nullptr =
+  /// an internal in-memory substrate; otherwise a caller-owned backend
+  /// (streaming / MapReduce / custom) the solver bind()s for this solve.
+  /// For a fixed seed the SolverResult (value, lambda, beta, certified
+  /// ratio, history, stored counts) is bitwise identical across
+  /// substrates; only the substrate's ResourceMeter — merged into
+  /// SolverResult::meter — reflects the access model's cost.
+  access::Substrate* substrate = nullptr;
 };
 
 struct RoundStats {

@@ -114,6 +114,26 @@ GomoryHuTree gomory_hu_from_arena(FlowArena& net,
   return tree;
 }
 
+bool gomory_hu_from_arena_cached(FlowArena& net,
+                                 const std::vector<char>* alive,
+                                 GomoryHuTree& tree, GomoryHuStamp& stamp) {
+  const bool alive_matches =
+      alive == nullptr ? stamp.alive.empty() : stamp.alive == *alive;
+  if (stamp.valid && stamp.net_version == net.version() && alive_matches &&
+      tree.size() == net.num_vertices()) {
+    return false;  // tree already describes this exact network
+  }
+  gomory_hu_from_arena(net, alive, tree);
+  stamp.net_version = net.version();
+  if (alive != nullptr) {
+    stamp.alive = *alive;
+  } else {
+    stamp.alive.clear();
+  }
+  stamp.valid = true;
+  return true;
+}
+
 GomoryHuTree gomory_hu(std::size_t n, const std::vector<Edge>& edges,
                        const std::vector<std::int64_t>& cap) {
   if (edges.size() != cap.size()) {

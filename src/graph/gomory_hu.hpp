@@ -75,4 +75,22 @@ GomoryHuTree gomory_hu_from_arena(FlowArena& net,
 void gomory_hu_from_arena(FlowArena& net, const std::vector<char>* alive,
                           GomoryHuTree& tree);
 
+/// Reuse token for gomory_hu_from_arena_cached: remembers the arena
+/// version() and alive mask the cached tree was built from.
+struct GomoryHuStamp {
+  std::uint64_t net_version = 0;
+  std::vector<char> alive;
+  bool valid = false;
+};
+
+/// Gusfield with tree reuse: when `net.version()` and the alive mask are
+/// unchanged since `stamp` was last written, `tree` is already the
+/// Gomory-Hu tree of this network — skip the n-1 max-flows entirely. This
+/// is the odd-set separation fast path (Lemma 25): a residual round that
+/// contracted no vertex, re-queried with the same network, reuses the
+/// previous arena tree. Returns true when Gusfield actually ran.
+bool gomory_hu_from_arena_cached(FlowArena& net,
+                                 const std::vector<char>* alive,
+                                 GomoryHuTree& tree, GomoryHuStamp& stamp);
+
 }  // namespace dp

@@ -6,6 +6,15 @@
 
 namespace dp {
 
+EdgeStream::~EdgeStream() {
+  ShuffleOrder* node = orders_.load(std::memory_order_acquire);
+  while (node != nullptr) {
+    ShuffleOrder* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
 void EdgeStream::for_each_pass(
     const std::function<void(const Edge&)>& fn) const {
   for_each_pass<const std::function<void(const Edge&)>&>(fn);
@@ -16,17 +25,29 @@ void EdgeStream::for_each_pass_shuffled(
   for_each_pass_shuffled<const std::function<void(const Edge&)>&>(seed, fn);
 }
 
-void EdgeStream::ensure_order(std::uint64_t seed) const {
-  if (order_valid_ && order_seed_ == seed &&
-      order_.size() == graph_->num_edges()) {
-    return;
+const std::vector<EdgeId>& EdgeStream::order_for(std::uint64_t seed) const {
+  // Lock-free fast path: walk the published entries (acquire pairs with the
+  // release store below, so a found entry's vector is fully built).
+  for (const ShuffleOrder* node = orders_.load(std::memory_order_acquire);
+       node != nullptr; node = node->next) {
+    if (node->seed == seed) return node->order;
   }
-  order_.resize(graph_->num_edges());
-  std::iota(order_.begin(), order_.end(), EdgeId{0});
+  const std::lock_guard<std::mutex> lock(order_mutex_);
+  // Re-check under the lock: another thread may have built this seed while
+  // we waited.
+  for (const ShuffleOrder* node = orders_.load(std::memory_order_relaxed);
+       node != nullptr; node = node->next) {
+    if (node->seed == seed) return node->order;
+  }
+  auto* entry = new ShuffleOrder;
+  entry->seed = seed;
+  entry->order.resize(graph_->num_edges());
+  std::iota(entry->order.begin(), entry->order.end(), EdgeId{0});
   Rng rng(seed);
-  rng.shuffle(order_);
-  order_seed_ = seed;
-  order_valid_ = true;
+  rng.shuffle(entry->order);
+  entry->next = orders_.load(std::memory_order_relaxed);
+  orders_.store(entry, std::memory_order_release);
+  return entry->order;
 }
 
 }  // namespace dp

@@ -7,9 +7,16 @@
 // Passes are templated on the callable so hot per-edge loops inline instead
 // of paying a std::function indirection per edge; the std::function
 // overloads remain for ABI users holding type-erased callbacks.
+//
+// The shuffled-order cache follows the same mutex + acquire/release pattern
+// as Graph::neighbors' lazy CSR: each seed's permutation is built once,
+// under a mutex, into an immutable entry pushed onto a lock-free list, so
+// concurrent first passes (including passes with different seeds) are safe.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -23,6 +30,11 @@ class EdgeStream {
   /// the stream.
   explicit EdgeStream(const Graph& g, ResourceMeter* meter = nullptr)
       : graph_(&g), meter_(meter) {}
+
+  EdgeStream(const EdgeStream&) = delete;
+  EdgeStream& operator=(const EdgeStream&) = delete;
+
+  ~EdgeStream();
 
   std::size_t num_vertices() const noexcept { return graph_->num_vertices(); }
   std::size_t num_edges() const noexcept { return graph_->num_edges(); }
@@ -38,17 +50,24 @@ class EdgeStream {
   /// Type-erased overload for callers holding a std::function.
   void for_each_pass(const std::function<void(const Edge&)>& fn) const;
 
+  /// One pass that also yields each edge's id: fn(id, edge). The access
+  /// substrates use this to map arrivals onto their retained-index space.
+  template <typename Fn>
+  void for_each_pass_indexed(Fn&& fn) const {
+    if (meter_ != nullptr) meter_->add_pass();
+    const std::size_t m = graph_->num_edges();
+    for (EdgeId e = 0; e < m; ++e) fn(e, graph_->edge(e));
+  }
+
   /// One pass in a random order determined by `seed` (models adversarial /
   /// arbitrary arrival order differing between passes). The permutation is
-  /// cached per seed, so repeated passes with the same seed rebuild
-  /// nothing; only the index order is materialized, never the edges.
-  /// Like the lazy CSR view, the cache is not synchronized: do not run the
-  /// first shuffled pass for a seed concurrently from several threads.
+  /// cached per seed as an immutable entry (repeated passes with the same
+  /// seed rebuild nothing); only the index order is materialized, never the
+  /// edges. Safe to call concurrently, including concurrent first passes.
   template <typename Fn>
   void for_each_pass_shuffled(std::uint64_t seed, Fn&& fn) const {
     if (meter_ != nullptr) meter_->add_pass();
-    ensure_order(seed);
-    for (EdgeId idx : order_) fn(graph_->edge(idx));
+    for (EdgeId idx : order_for(seed)) fn(graph_->edge(idx));
   }
 
   /// Type-erased overload for callers holding a std::function.
@@ -56,16 +75,32 @@ class EdgeStream {
                               const std::function<void(const Edge&)>& fn)
       const;
 
+  /// Shuffled pass that also yields each edge's id: fn(id, edge).
+  template <typename Fn>
+  void for_each_pass_shuffled_indexed(std::uint64_t seed, Fn&& fn) const {
+    if (meter_ != nullptr) meter_->add_pass();
+    for (EdgeId idx : order_for(seed)) fn(idx, graph_->edge(idx));
+  }
+
   ResourceMeter* meter() const noexcept { return meter_; }
 
  private:
-  void ensure_order(std::uint64_t seed) const;
+  /// One immutable cached permutation. Entries are only ever prepended to
+  /// the list and freed by the destructor, so readers traverse without
+  /// locking (acquire loads pair with the release store publishing a new
+  /// fully-built entry).
+  struct ShuffleOrder {
+    std::uint64_t seed;
+    std::vector<EdgeId> order;
+    ShuffleOrder* next;
+  };
+
+  const std::vector<EdgeId>& order_for(std::uint64_t seed) const;
 
   const Graph* graph_;
   ResourceMeter* meter_;
-  mutable std::vector<EdgeId> order_;
-  mutable std::uint64_t order_seed_ = 0;
-  mutable bool order_valid_ = false;
+  mutable std::atomic<ShuffleOrder*> orders_{nullptr};
+  mutable std::mutex order_mutex_;  // serializes permutation builds
 };
 
 }  // namespace dp

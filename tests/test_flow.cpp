@@ -227,6 +227,61 @@ TEST(FlowArena, DisableVertexAndBaseCapEdits) {
   EXPECT_EQ(net.max_flow(0, 3), 9);
 }
 
+TEST(GomoryHu, CachedTreeReusedWhileNetworkUnchanged) {
+  Rng rng(77);
+  const std::size_t n = 24;
+  const Graph g = gen::gnm(n, 90, 78);
+  std::vector<ArenaEdge> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    edges.push_back(ArenaEdge{std::min(g.edge(e).u, g.edge(e).v),
+                              std::max(g.edge(e).u, g.edge(e).v),
+                              static_cast<std::int64_t>(1 + rng.uniform(9))});
+  }
+  aggregate_parallel_edges(edges);
+  FlowArena net;
+  net.build(n, edges);
+
+  GomoryHuTree tree;
+  GomoryHuStamp stamp;
+  EXPECT_TRUE(gomory_hu_from_arena_cached(net, nullptr, tree, stamp));
+  const std::size_t flows_after_build = net.flows_run();
+  EXPECT_EQ(flows_after_build, n - 1);
+
+  // Same network (a no-op rebuild keeps version()): the cached call must
+  // reuse the tree without running a single flow…
+  net.build(n, edges);
+  EXPECT_FALSE(gomory_hu_from_arena_cached(net, nullptr, tree, stamp));
+  EXPECT_EQ(net.flows_run(), flows_after_build);
+  // …and the reused tree answers every pair exactly like a fresh one.
+  const GomoryHuTree fresh = gomory_hu_from_arena(net);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      EXPECT_EQ(tree.min_cut(u, v), fresh.min_cut(u, v))
+          << "pair " << u << "," << v;
+    }
+  }
+
+  // Any base mutation invalidates the stamp: the cached call rebuilds and
+  // the rebuilt tree matches a fresh construction on the edited network.
+  net.set_edge_base_cap(0, edges[0].cap + 5);
+  const std::size_t flows_before = net.flows_run();
+  EXPECT_TRUE(gomory_hu_from_arena_cached(net, nullptr, tree, stamp));
+  EXPECT_GT(net.flows_run(), flows_before);
+  const GomoryHuTree edited = gomory_hu_from_arena(net);
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) {
+      EXPECT_EQ(tree.min_cut(u, v), edited.min_cut(u, v));
+    }
+  }
+
+  // An alive-mask change alone (same network version) also rebuilds.
+  std::vector<char> alive(n, 1);
+  alive[n - 1] = 0;
+  net.disable_vertex(static_cast<std::uint32_t>(n - 1));
+  EXPECT_TRUE(gomory_hu_from_arena_cached(net, &alive, tree, stamp));
+  EXPECT_FALSE(gomory_hu_from_arena_cached(net, &alive, tree, stamp));
+}
+
 TEST(GomoryHu, FromArenaRespectsAliveMask) {
   // Two triangles joined by a light bridge; masking one triangle out must
   // yield the tree of the other alone.

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "access/in_memory.hpp"
 #include "core/round_pipeline.hpp"
 #include "core/solver.hpp"
 #include "graph/generators.hpp"
@@ -113,11 +114,18 @@ TEST(RoundPipeline, SolveOfflineReportsPositiveSupportOnly) {
   MicroOracle oracle(lg, b, OracleConfig{});
   RoundPipelineOptions popt;
   popt.eps = 0.2;
-  RoundPipeline pipeline(g, lg, b, /*unit_caps=*/true, oracle, popt);
+  access::InMemorySubstrate substrate;
+  substrate.bind(g, lg, oracle.worker_pool(), popt.grain);
+  RoundPipeline pipeline(substrate, lg, b, /*unit_caps=*/true, oracle,
+                         popt);
 
   std::vector<EdgeId> support;
-  for (EdgeId e = 0; e < g.num_edges(); e += 2) support.push_back(e);
-  const OfflineSolution sol = pipeline.solve_offline(support);
+  std::vector<Edge> support_edges;
+  for (EdgeId e = 0; e < g.num_edges(); e += 2) {
+    support.push_back(e);
+    support_edges.push_back(g.edge(e));
+  }
+  const OfflineSolution sol = pipeline.solve_offline(support, support_edges);
   ASSERT_FALSE(sol.support.empty());
   // The reported support is exactly the positive-multiplicity edges, and
   // the cached value is the solution's original-weight value.

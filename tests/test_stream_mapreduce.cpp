@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "core/sampling.hpp"
@@ -82,6 +83,57 @@ TEST(EdgeStream, ShuffledPassCachesOrderPerSeed) {
   EXPECT_EQ(first, second);        // cached permutation reused
   EXPECT_NE(first, other_seed);    // new seed regenerates
   EXPECT_EQ(meter.passes(), 3u);
+}
+
+TEST(EdgeStream, ConcurrentFirstShuffledPassesAreSafe) {
+  // The shuffled-order cache builds each seed's permutation once as an
+  // immutable entry (mutex + acquire/release, like Graph::neighbors' lazy
+  // CSR), so concurrent FIRST passes — including different seeds — must
+  // be safe and agree with serial passes.
+  const Graph g = gen::gnm(40, 400, 11);
+  std::vector<std::vector<Vertex>> serial(4);
+  {
+    EdgeStream reference(g);
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      reference.for_each_pass_shuffled(seed, [&](const Edge& e) {
+        serial[seed].push_back(e.u);
+      });
+    }
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    EdgeStream stream(g);
+    std::vector<std::vector<Vertex>> seen(8);
+    std::vector<std::thread> threads;
+    threads.reserve(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      threads.emplace_back([&stream, &seen, i] {
+        stream.for_each_pass_shuffled(i % 4, [&](const Edge& e) {
+          seen[i].push_back(e.u);
+        });
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(seen[i], serial[i % 4]) << "thread " << i;
+    }
+  }
+}
+
+TEST(EdgeStream, IndexedPassesYieldMatchingIds) {
+  const Graph g = gen::gnm(18, 70, 12);
+  EdgeStream stream(g);
+  std::size_t count = 0;
+  stream.for_each_pass_indexed([&](EdgeId e, const Edge& edge) {
+    EXPECT_EQ(edge, g.edge(e));
+    ++count;
+  });
+  EXPECT_EQ(count, g.num_edges());
+  count = 0;
+  stream.for_each_pass_shuffled_indexed(3, [&](EdgeId e, const Edge& edge) {
+    EXPECT_EQ(edge, g.edge(e));
+    ++count;
+  });
+  EXPECT_EQ(count, g.num_edges());
 }
 
 // ---- Batched sampling rounds across substrates (core/sampling). ----
