@@ -7,10 +7,13 @@
 # bench_micro --quick (which also sanity-checks flat-vs-map agreement and
 # refreshes BENCH_micro.json), then bench_runtime (which gates bitwise
 # 1/2/8-thread and pipeline-on/off stability and refreshes
-# BENCH_runtime.json with the overlap speedup column) and bench_substrate
+# BENCH_runtime.json with the overlap speedup column), bench_substrate
 # (which gates the SolverResult bitwise identical across the in-memory /
 # streaming / MapReduce access substrates and refreshes
-# BENCH_substrate.json).
+# BENCH_substrate.json), and bench_faults (which gates clean ==
+# fault-injected == killed+resumed bitwise across substrates and 1/2/8
+# threads and refreshes BENCH_faults.json with the recovery accounting
+# and checkpoint-overhead columns).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,4 +26,5 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 "./$BUILD_DIR/bench_micro" --quick
 "./$BUILD_DIR/bench_runtime"
 "./$BUILD_DIR/bench_substrate"
+"./$BUILD_DIR/bench_faults"
 echo "check.sh: OK"

@@ -19,6 +19,9 @@ void MapReduceSubstrate::on_bind() {
   sim_config.machines = config_.machines == 0 ? 1 : config_.machines;
   sim_config.reducer_memory = reducer_memory_;
   sim_config.threads = config_.threads;
+  // plan_ is the substrate's own stable copy (set before bind), so the
+  // simulator's pointer stays valid for the whole solve.
+  sim_config.faults = &plan_;
   sim_ = std::make_unique<mapreduce::Simulator>(sim_config, &meter_);
   engine_ = core::SamplingEngine(nullptr, grain_);
 }

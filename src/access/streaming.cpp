@@ -1,5 +1,6 @@
 #include "access/streaming.hpp"
 
+#include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace dp::access {
@@ -11,20 +12,45 @@ void StreamingSubstrate::on_bind() {
     retained_of_[table_[idx].id] = static_cast<std::uint32_t>(idx);
   }
   engine_ = core::SamplingEngine(nullptr, grain_);
+  pass_ordinal_ = 0;
 }
 
 void StreamingSubstrate::multiplier_sweep(const SweepKernel& kernel) {
   // The round's ONE pass over the input. Arrivals come in stream order;
   // each retained arrival is a one-element kernel range at its retained
   // index, so the filled buffers are identical to any other backend's.
-  meter_.add_pass();
+  //
+  // Fault site (phase 0): the pass may die at a deterministic arrival
+  // offset; the retry re-walks from the start (kernel fills are pure per
+  // index, so partial fills are simply overwritten) and every physical
+  // walk — including the aborted ones — is charged as a pass.
+  const std::uint64_t pass = pass_ordinal_++;
+  const std::uint64_t m = g_->num_edges();
   const RetainedEdge* edges = table_.data();
   const std::uint32_t* retained_of = retained_of_.data();
-  stream_->for_each_pass_indexed([&](EdgeId pos, const Edge&) {
-    const std::uint32_t idx = retained_of[pos];
-    if (idx == core::SamplingEngine::kNotRetained) return;
-    kernel(idx, idx + 1, edges);
-  });
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    meter_.add_pass();
+    const std::uint64_t fail_at =
+        fault_offset_or_none(FaultSite::kStreamPass, pass, 0, attempt, m);
+    try {
+      std::uint64_t arrival = 0;
+      stream_->for_each_pass_indexed([&](EdgeId pos, const Edge&) {
+        if (arrival++ == fail_at) {
+          throw SubstrateFault(
+              "stream pass died mid-pass (multiplier sweep)",
+              {fault_site_name(FaultSite::kStreamPass), pass, attempt});
+        }
+        const std::uint32_t idx = retained_of[pos];
+        if (idx == core::SamplingEngine::kNotRetained) return;
+        kernel(idx, idx + 1, edges);
+      });
+      return;
+    } catch (const SubstrateFault&) {
+      meter_.add_faults();
+      if (attempt + 1 >= retry_.max_attempts) throw;
+      retry_.backoff(injector_, FaultSite::kStreamPass, pass, 0, attempt);
+    }
+  }
 }
 
 const core::SamplingRound& StreamingSubstrate::draw(
@@ -38,11 +64,37 @@ const core::SamplingRound& StreamingSubstrate::draw(
   // per-seed permutation cache stays bounded for arbitrarily long solves.
   const std::uint64_t order_seed = mix_combine(seed ^ 0x9e37'79b9'7f4a'7c15ULL,
                                                round & 3);
-  const core::SamplingRound& draws = engine_.draw_stream_mapped(
-      *stream_, retained_of_, order_seed, prob, t, round, seed);
-  meter_.add_round();
-  meter_.store_edges(draws.stored_total());
-  return draws;
+  // Fault site (phase 1): the draw shares the sweep's logical pass, so its
+  // injection key is (that pass ordinal, phase 1). A failed draw attempt
+  // means the fused pass physically re-walks — charged as an extra pass —
+  // and the engine's draw restarts clean (its buffers reset at entry).
+  const std::uint64_t pass = pass_ordinal_ == 0 ? 0 : pass_ordinal_ - 1;
+  const std::uint64_t m = g_->num_edges();
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    const std::uint64_t fail_at =
+        fault_offset_or_none(FaultSite::kStreamPass, pass, 1, attempt, m);
+    try {
+      const std::function<void(std::uint64_t)> probe =
+          [&](std::uint64_t arrival) {
+            if (arrival == fail_at) {
+              throw SubstrateFault(
+                  "stream pass died mid-pass (draw)",
+                  {fault_site_name(FaultSite::kStreamPass), pass, attempt});
+            }
+          };
+      const core::SamplingRound& draws = engine_.draw_stream_mapped(
+          *stream_, retained_of_, order_seed, prob, t, round, seed,
+          fail_at == kNoFault ? nullptr : &probe);
+      meter_.add_round();
+      meter_.store_edges(draws.stored_total());
+      return draws;
+    } catch (const SubstrateFault&) {
+      meter_.add_faults();
+      if (attempt + 1 >= retry_.max_attempts) throw;
+      meter_.add_pass();  // the retry physically re-walks the fused pass
+      retry_.backoff(injector_, FaultSite::kStreamPass, pass, 1, attempt);
+    }
+  }
 }
 
 }  // namespace dp::access

@@ -13,6 +13,15 @@
 // (O(n^{1+1/p}) incidences, metered via store/release) plus the O(n L)
 // dual state; tests gate peak stored edges = o(m). The attribute table of
 // the base class is simulation working memory, not model state.
+//
+// Fault tolerance (util/fault): when a FaultPlan is installed, each pass
+// can die mid-pass at a deterministic arrival offset (FaultSite::
+// kStreamPass; phase 0 = the multiplier sweep, phase 1 = the draw's
+// physical re-walk). A failed pass is retried from the start — safe
+// because the kernel fills and the draw masks are pure per index — with
+// every physical re-walk charged as an extra pass and counted as a fault
+// on the meter. An exhausted retry budget propagates the SubstrateFault
+// (the solver then degrades gracefully).
 
 #include <memory>
 
@@ -45,6 +54,7 @@ class StreamingSubstrate final : public Substrate {
   std::unique_ptr<EdgeStream> stream_;
   std::vector<std::uint32_t> retained_of_;  // stream position -> retained idx
   core::SamplingEngine engine_;             // sequential (no pool)
+  std::uint64_t pass_ordinal_ = 0;          // logical passes this solve
 };
 
 }  // namespace dp::access

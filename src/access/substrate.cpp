@@ -12,6 +12,8 @@ void Substrate::bind(const Graph& g, const core::LevelGraph& lg,
   grain_ = grain == 0 ? 1 : grain;
   n_ = g.num_vertices();
   meter_.reset();
+  injector_ = FaultInjector(plan_.config);
+  retry_ = plan_.retry;
 
   const std::vector<EdgeId>& retained = lg.retained();
   table_.resize(retained.size());

@@ -44,6 +44,7 @@
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
 #include "util/accounting.hpp"
+#include "util/fault.hpp"
 
 namespace dp {
 class ThreadPool;
@@ -127,9 +128,31 @@ class Substrate {
   /// space is a per-round quantity in the paper's model).
   void release_stored(std::size_t k) noexcept { meter_.release_edges(k); }
 
+  /// Install the fault-tolerance plan for subsequent solves. Injection is
+  /// a backend concern: the streaming backend wires mid-pass failures, the
+  /// MapReduce backend wires mapper/reducer task failures, and the
+  /// in-memory reference ignores the plan (RAM access has no failing
+  /// unit). The solver installs SolverOptions::faults here before bind().
+  void set_fault_plan(const FaultPlan& plan) { plan_ = plan; }
+  const FaultPlan& fault_plan() const noexcept { return plan_; }
+
  protected:
   /// Backend hook invoked at the end of bind() (the table is ready).
   virtual void on_bind() {}
+
+  /// No-fault sentinel of fault_offset_or_none.
+  static constexpr std::uint64_t kNoFault = ~std::uint64_t{0};
+
+  /// Injection decision for event (site, a, b) on `attempt`: the arrival
+  /// offset in [0, bound) where the event dies, or kNoFault. Pure function
+  /// of the plan's seed and the counters (never of threads or timing).
+  std::uint64_t fault_offset_or_none(FaultSite site, std::uint64_t a,
+                                     std::uint64_t b, std::uint64_t attempt,
+                                     std::uint64_t bound) const noexcept {
+    if (!injector_.enabled() || bound == 0) return kNoFault;
+    if (!injector_.should_fail(site, a, b, attempt)) return kNoFault;
+    return injector_.fail_offset(site, a, b, attempt, bound);
+  }
 
   const Graph* g_ = nullptr;
   const core::LevelGraph* lg_ = nullptr;
@@ -139,6 +162,9 @@ class Substrate {
   std::vector<RetainedEdge> table_;
   std::vector<Edge> edge_view_;
   ResourceMeter meter_;
+  FaultPlan plan_;           // default: injection disabled
+  FaultInjector injector_;   // rebuilt from plan_ at bind()
+  RetryPolicy retry_;        // plan_'s budget, snapshot at bind()
 };
 
 }  // namespace dp::access

@@ -1,0 +1,94 @@
+#pragma once
+// Round-level checkpoint/resume for the outer sampling loop.
+//
+// A RoundCheckpoint captures everything Solver::solve mutates across outer
+// rounds — the raw dual iterate (scale, x_i(k) in activation order, the
+// per-vertex maxima, the odd-set variables in stored order), the incumbent
+// primal, the round position, the per-round history and both resource
+// meters — so a solve killed after round k and resumed from the checkpoint
+// produces a SolverResult bitwise identical to the uninterrupted run, on
+// every substrate and thread count. Identity fields (seed, eps, p, t,
+// sample seed, instance shape) pin the checkpoint to ONE solve
+// configuration; the solver rejects a mismatched resume with ConfigError.
+//
+// Wire format (all integers little-endian):
+//   "DPCK" magic | version u32 | payload size u64 | FNV-1a-64 checksum u64
+//   | payload
+// The checksum covers the payload and is verified BEFORE any payload parse;
+// a flipped bit anywhere — header or payload — surfaces as
+// CheckpointCorrupt, never as a half-restored solve. Doubles travel as
+// their IEEE-754 bit patterns (bit_cast), preserving bitwise resume.
+// Version bumps are strict: kVersion is the only version deserialize
+// accepts (the format is a crash-recovery artifact, not an archive).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/dual_state.hpp"
+#include "core/solver.hpp"
+#include "util/accounting.hpp"
+
+namespace dp::core {
+
+/// Value snapshot of a ResourceMeter (the meter itself exposes no mutable
+/// counter access; restore replays the counters through the public API).
+struct MeterSnapshot {
+  std::uint64_t rounds = 0;
+  std::uint64_t passes = 0;
+  std::uint64_t stored_edges = 0;
+  std::uint64_t peak_edges = 0;
+  std::uint64_t sketch_words = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t inner_iterations = 0;
+  std::uint64_t oracle_calls = 0;
+  std::uint64_t faults = 0;
+
+  static MeterSnapshot of(const ResourceMeter& meter);
+  void restore_into(ResourceMeter& meter) const;
+};
+
+struct RoundCheckpoint {
+  static constexpr std::uint32_t kVersion = 1;
+
+  // -- Identity: the solve configuration this checkpoint belongs to. --
+  std::uint64_t solver_seed = 0;
+  double eps = 0;
+  double p = 0;
+  std::uint64_t sparsifiers = 0;  // resolved t
+  std::uint64_t sample_seed = 0;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  std::uint64_t retained = 0;
+  std::int32_t levels = 0;
+
+  // -- Position: where the outer loop resumes. --
+  std::uint64_t next_round = 0;
+  std::uint64_t outer_rounds = 0;
+  std::uint64_t oracle_calls = 0;
+
+  // -- Incumbent primal (support only; multiplicities are int64). --
+  double best_value = 0;
+  double beta = 0;
+  std::vector<std::pair<std::uint64_t, std::int64_t>> best_support;
+
+  // -- Raw dual iterate (DualState::restore_raw's exact inputs). --
+  double scale = 1.0;
+  std::vector<std::pair<std::uint64_t, double>> xik;  // activation order
+  std::vector<double> xi;                             // dense, n entries
+  std::vector<OddSetVar> odd_sets;                    // exact stored order
+
+  // -- Per-round history and resource accounting. --
+  std::vector<RoundStats> history;
+  MeterSnapshot solve_meter;
+  MeterSnapshot substrate_meter;
+
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Parses and validates a serialized checkpoint. Throws CheckpointCorrupt
+  /// on any structural defect: short buffer, wrong magic/version, size or
+  /// checksum mismatch, truncated or oversized payload.
+  static RoundCheckpoint deserialize(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace dp::core

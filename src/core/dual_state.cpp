@@ -115,6 +115,29 @@ void DualState::add_odd_set(const OddSetVar& var, double factor) {
   }
 }
 
+void DualState::restore_raw(
+    double scale, const std::vector<std::pair<std::uint64_t, double>>& xik,
+    const std::vector<double>& xi, const std::vector<OddSetVar>& sets) {
+  scale_ = scale;
+  xik_.reset(n_ * static_cast<std::size_t>(levels_));
+  for (const auto& [key, value] : xik) xik_.set(key, value);
+  xi_ = xi;
+  sets_ = sets;
+  set_index_.clear();
+  for (auto& at : sets_at_) at.clear();
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    const auto id = static_cast<std::uint32_t>(s);
+    for (Vertex v : sets_[s].members) sets_at_[v].push_back(id);
+    const std::uint64_t key = set_key(sets_[s]);
+    const auto it = std::lower_bound(
+        set_index_.begin(), set_index_.end(), key,
+        [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+    if (it == set_index_.end() || it->first != key) {
+      set_index_.insert(it, {key, id});
+    }
+  }
+}
+
 void DualState::blend(const DualPoint& p, double sigma) {
   scale_ *= (1.0 - sigma);
   if (scale_ < 1e-280) {

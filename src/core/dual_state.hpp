@@ -79,6 +79,24 @@ class DualState {
   /// Replace the state with a fresh point (used for the initial solution).
   void assign(const DualPoint& p);
 
+  // --- Checkpoint surface (core/checkpoint) ------------------------------
+  // Raw internals for bitwise round-checkpointing. xi_ is NOT derivable
+  // from xik_ (it accumulates per-blend run maxima, an FP-order-sensitive
+  // sum), so it serializes separately.
+  double scale() const noexcept { return scale_; }
+  const FlatDuals& raw_xik() const noexcept { return xik_; }
+  const std::vector<double>& raw_xi() const noexcept { return xi_; }
+
+  /// Rebuild the exact internal state captured by the raw accessors: xik
+  /// entries are applied in the given (activation) order, sets in stored
+  /// order, and the membership/dedup indexes are replayed exactly as
+  /// add_odd_set built them (first id wins on a hash collision) — so a
+  /// resumed solve is bitwise identical to an uninterrupted one.
+  void restore_raw(double scale,
+                   const std::vector<std::pair<std::uint64_t, double>>& xik,
+                   const std::vector<double>& xi,
+                   const std::vector<OddSetVar>& sets);
+
   /// Number of distinct odd-set variables currently in the support.
   std::size_t odd_set_support() const noexcept { return sets_.size(); }
 

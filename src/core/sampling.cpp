@@ -1,7 +1,8 @@
 #include "core/sampling.hpp"
 
-#include <stdexcept>
 #include <utility>
+
+#include "util/error.hpp"
 
 namespace dp::core {
 
@@ -9,8 +10,7 @@ namespace {
 
 void check_t(std::size_t t) {
   if (t > kMaxSparsifiersPerRound) {
-    throw std::invalid_argument(
-        "SamplingEngine: at most 32 sparsifiers per round");
+    throw ConfigError("SamplingEngine: at most 32 sparsifiers per round");
   }
 }
 
@@ -78,8 +78,7 @@ const SamplingRound& SamplingEngine::draw_stream(
     std::uint64_t round, std::uint64_t seed) {
   check_t(t);
   if (prob.size() != stream.num_edges()) {
-    throw std::invalid_argument(
-        "SamplingEngine::draw_stream: prob/stream size mismatch");
+    throw ConfigError("SamplingEngine::draw_stream: prob/stream size mismatch");
   }
   round_.t_ = t;
   round_.masks_.resize(prob.size());
@@ -103,10 +102,11 @@ const SamplingRound& SamplingEngine::draw_stream(
 const SamplingRound& SamplingEngine::draw_stream_mapped(
     const EdgeStream& stream, const std::vector<std::uint32_t>& retained_of,
     std::uint64_t order_seed, const std::vector<double>& prob, std::size_t t,
-    std::uint64_t round, std::uint64_t seed) {
+    std::uint64_t round, std::uint64_t seed,
+    const std::function<void(std::uint64_t)>* arrival_probe) {
   check_t(t);
   if (retained_of.size() != stream.num_edges()) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "SamplingEngine::draw_stream_mapped: map/stream size mismatch");
   }
   round_.t_ = t;
@@ -116,8 +116,10 @@ const SamplingRound& SamplingEngine::draw_stream_mapped(
   // mask of retained index idx is the same pure function of
   // (seed, round, q, idx) every other substrate evaluates, so the arrival
   // permutation cannot change the stored sets.
+  std::uint64_t arrival = 0;
   stream.for_each_pass_shuffled_indexed(
       order_seed, [&](EdgeId pos, const Edge&) {
+        if (arrival_probe != nullptr) (*arrival_probe)(arrival++);
         const std::uint32_t idx = retained_of[pos];
         if (idx == kNotRetained) return;
         round_.masks_[idx] = sampling_mask(round_rng, t, idx, prob[idx]);
@@ -131,7 +133,7 @@ const SamplingRound& SamplingEngine::adopt_supports(
     const std::vector<std::vector<std::uint32_t>>& supports) {
   check_t(t);
   if (supports.size() != t) {
-    throw std::invalid_argument(
+    throw ConfigError(
         "SamplingEngine::adopt_supports: expected one support per "
         "sparsifier");
   }

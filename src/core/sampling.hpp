@@ -25,6 +25,7 @@
 //    state lives in reusable engine buffers.
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -191,10 +192,17 @@ class SamplingEngine {
   /// maps each stream position (graph edge id) to its retained index, or
   /// kNotRetained for dropped edges; `prob` is retained-indexed. Charges
   /// nothing — the caller owns the round's pass accounting.
+  ///
+  /// `arrival_probe` (optional) is invoked with the arrival ordinal
+  /// 0, 1, ... BEFORE each edge is processed — the streaming substrate's
+  /// mid-pass fault-injection hook (util/fault): a probe that throws
+  /// models the pass dying at that arrival. The engine's buffers are reset
+  /// at entry, so an aborted draw can simply be re-invoked.
   const SamplingRound& draw_stream_mapped(
       const EdgeStream& stream, const std::vector<std::uint32_t>& retained_of,
       std::uint64_t order_seed, const std::vector<double>& prob,
-      std::size_t t, std::uint64_t round, std::uint64_t seed);
+      std::size_t t, std::uint64_t round, std::uint64_t seed,
+      const std::function<void(std::uint64_t)>* arrival_probe = nullptr);
 
   /// MapReduce-substrate adoption: rebuild the round from per-sparsifier
   /// supports (reducer outputs, each ascending). Produces the same masks /

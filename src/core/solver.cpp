@@ -1,14 +1,17 @@
 #include "core/solver.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "access/in_memory.hpp"
 #include "core/certificate.hpp"
+#include "core/checkpoint.hpp"
 #include "core/initial.hpp"
 #include "core/round_pipeline.hpp"
 #include "core/sampling.hpp"
 #include "sparsify/deferred.hpp"
+#include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -22,7 +25,13 @@ Solver::Solver(const Graph& g, SolverOptions options)
     : g_(&g), b_(Capacities::unit(g.num_vertices())),
       options_(std::move(options)) {}
 
-SolverResult Solver::solve() {
+SolverResult Solver::solve() { return solve_impl(options_.resume_from); }
+
+SolverResult Solver::solve(const RoundCheckpoint& resume_from) {
+  return solve_impl(&resume_from);
+}
+
+SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
   const Graph& g = *g_;
   SolverResult result;
   result.b_matching = BMatching(g.num_edges());
@@ -32,7 +41,6 @@ SolverResult Solver::solve() {
   }
   const double eps = options_.eps;
   const double p = std::max(options_.p, 1.01);
-  Rng rng(options_.seed);
 
   bool unit_caps = true;
   for (std::size_t v = 0; v < b_.size(); ++v) {
@@ -51,11 +59,7 @@ SolverResult Solver::solve() {
   }
   const double n = static_cast<double>(g.num_vertices());
 
-  // ---- Initial dual solution (Lemma 12). ----
-  const InitialSolution init =
-      build_initial(lg, b_, p, rng.next(), &result.meter);
   DualState state(g.num_vertices(), lg.num_levels());
-  state.assign(init.x0);
 
   // ---- Outer-round shape: t sparsifiers per round, round cap. ----
   const double gamma = std::pow(n, 1.0 / (2.0 * p));
@@ -108,29 +112,102 @@ SolverResult Solver::solve() {
   access::Substrate* substrate = options_.substrate != nullptr
                                      ? options_.substrate
                                      : &default_substrate;
+  substrate->set_fault_plan(options_.faults);
   substrate->bind(g, lg, pool, popt.grain);
 
   RoundPipeline pipeline(*substrate, lg, b_, unit_caps, oracle, popt);
 
-  // ---- Best primal so far: offline on the initial support. ----
   Incumbent inc;
   inc.best = BMatching(g.num_edges());
-  inc.beta = std::max(init.beta0, 1e-12);
-  {
+  std::size_t start_round = 0;
+
+  if (resume == nullptr) {
+    // ---- Initial dual solution (Lemma 12) and best primal so far:
+    // offline on the initial support. ----
+    Rng rng(options_.seed);
+    const InitialSolution init =
+        build_initial(lg, b_, p, rng.next(), &result.meter);
+    state.assign(init.x0);
+    inc.beta = std::max(init.beta0, 1e-12);
     std::vector<Edge> init_edges;
     init_edges.reserve(init.support.size());
     for (EdgeId e : init.support) init_edges.push_back(g.edge(e));
     pipeline.merge_offline(pipeline.solve_offline(init.support, init_edges),
                            inc);
+  } else {
+    // ---- Resume: the checkpoint replaces the initial solution AND every
+    // completed round. Identity first — resuming under a different
+    // configuration would silently produce a hybrid solve. Doubles compare
+    // as bit patterns (the contract is bitwise identity, not closeness).
+    const auto bits = [](double x) { return std::bit_cast<std::uint64_t>(x); };
+    const bool identity_ok =
+        resume->solver_seed == options_.seed && bits(resume->eps) == bits(eps)
+        && bits(resume->p) == bits(p) && resume->sparsifiers == t
+        && resume->sample_seed == popt.sample_seed
+        && resume->n == g.num_vertices() && resume->m == g.num_edges()
+        && resume->retained == retained.size()
+        && resume->levels == lg.num_levels();
+    if (!identity_ok) {
+      throw ConfigError(
+          "resume checkpoint does not match this solve configuration and "
+          "instance",
+          {"solver.resume"});
+    }
+    // Structural bounds the checksum cannot vouch for (it only proves the
+    // bytes are the ones serialize wrote, not that they index this
+    // instance): every key/vertex/edge must be in range before it drives
+    // unchecked dense-array writes.
+    const std::uint64_t key_bound =
+        static_cast<std::uint64_t>(g.num_vertices()) * lg.num_levels();
+    bool shape_ok = resume->xi.size() == g.num_vertices();
+    for (const auto& [key, value] : resume->xik) {
+      shape_ok = shape_ok && key < key_bound;
+    }
+    for (const OddSetVar& var : resume->odd_sets) {
+      for (const Vertex v : var.members) {
+        shape_ok = shape_ok && v < g.num_vertices();
+      }
+    }
+    for (const auto& [e, mult] : resume->best_support) {
+      shape_ok = shape_ok && e < g.num_edges();
+    }
+    if (!shape_ok) {
+      throw CheckpointCorrupt(
+          "resume checkpoint indexes outside this instance",
+          {"solver.resume"});
+    }
+    state.restore_raw(resume->scale, resume->xik, resume->xi,
+                      resume->odd_sets);
+    inc.beta = resume->beta;
+    inc.value = resume->best_value;
+    for (const auto& [e, mult] : resume->best_support) {
+      inc.best.set_multiplicity(static_cast<EdgeId>(e), mult);
+    }
+    result.outer_rounds = resume->outer_rounds;
+    result.oracle_calls = resume->oracle_calls;
+    result.history = resume->history;
+    resume->solve_meter.restore_into(result.meter);
+    resume->substrate_meter.restore_into(substrate->meter());
+    start_round = resume->next_round;
   }
 
   // ---- Outer sampling rounds. ----
   bool lambda_fresh = false;
-  for (std::size_t round = 0; round < max_rounds; ++round) {
+  for (std::size_t round = start_round; round < max_rounds; ++round) {
     // lambda and early stopping (Corollary 6's certificate): the round's
     // opening substrate sweep — on the streaming backend this is the
-    // iteration's single pass, shared with the multiplier stage.
-    const double lambda = pipeline.open_round(state);
+    // iteration's single pass, shared with the multiplier stage. A fault
+    // that exhausts the retry budget here (or in the round body below)
+    // degrades gracefully: every completed round's state is intact, so
+    // the best-so-far primal leaves with a sound certificate.
+    double lambda = 0;
+    try {
+      lambda = pipeline.open_round(state);
+    } catch (const SubstrateFault& fault) {
+      result.status = SolverStatus::kDegraded;
+      result.fault_detail = fault.what();
+      break;
+    }
     result.lambda = lambda;
     lambda_fresh = true;
     if (lambda >= 1.0 - 3.0 * eps) break;
@@ -140,11 +217,20 @@ SolverResult Solver::solve() {
           bound * lg.scale() * (1.0 + eps) + eps * lg.w_star() / 2.0;
       if (inc.value >= options_.target_ratio * bound_orig) break;
     }
-    ++result.outer_rounds;
 
-    const RoundPipeline::RoundReport rep =
-        pipeline.run_round(round, lambda, state, inc, result.meter);
+    RoundPipeline::RoundReport rep;
+    try {
+      rep = pipeline.run_round(round, lambda, state, inc, result.meter);
+    } catch (const SubstrateFault& fault) {
+      // Injection sites precede the round's state mutations (the sweep and
+      // the draw both run before stage_inner touches the dual state), so
+      // the state is the last completed round's.
+      result.status = SolverStatus::kDegraded;
+      result.fault_detail = fault.what();
+      break;
+    }
     lambda_fresh = false;
+    ++result.outer_rounds;
     result.oracle_calls += rep.oracle_calls;
 
     result.history.push_back(RoundStats{round + 1, lambda, inc.beta,
@@ -153,14 +239,66 @@ SolverResult Solver::solve() {
     DP_INFO("round " << round + 1 << " lambda=" << lambda
                      << " beta=" << inc.beta << " best=" << inc.value
                      << " stored=" << rep.stored_edges);
+
+    if (options_.on_checkpoint) {
+      RoundCheckpoint ck;
+      ck.solver_seed = options_.seed;
+      ck.eps = eps;
+      ck.p = p;
+      ck.sparsifiers = t;
+      ck.sample_seed = popt.sample_seed;
+      ck.n = g.num_vertices();
+      ck.m = g.num_edges();
+      ck.retained = retained.size();
+      ck.levels = lg.num_levels();
+      ck.next_round = round + 1;
+      ck.outer_rounds = result.outer_rounds;
+      ck.oracle_calls = result.oracle_calls;
+      ck.best_value = inc.value;
+      ck.beta = inc.beta;
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        const std::int64_t mult = inc.best.multiplicity(e);
+        if (mult > 0) ck.best_support.emplace_back(e, mult);
+      }
+      ck.scale = state.scale();
+      const FlatDuals& xik = state.raw_xik();
+      ck.xik.reserve(xik.active_count());
+      for (const std::uint64_t key : xik.active()) {
+        ck.xik.emplace_back(key, xik.get(key));
+      }
+      ck.xi = state.raw_xi();
+      ck.odd_sets = state.odd_sets();
+      ck.history = result.history;
+      ck.solve_meter = MeterSnapshot::of(result.meter);
+      ck.substrate_meter = MeterSnapshot::of(substrate->meter());
+      if (!options_.on_checkpoint(ck)) {
+        result.status = SolverStatus::kInterrupted;
+        break;
+      }
+    }
   }
   result.value = inc.value;
   result.b_matching = std::move(inc.best);
 
   // ---- Certificate: explicit dual, verified edge by edge. The final
   // lambda needs one more sweep only when the loop exhausted its round
-  // budget (a break leaves the staged lambda fresh). ----
-  if (!lambda_fresh) result.lambda = pipeline.open_round(state);
+  // budget (a break leaves the staged lambda fresh). A degraded solve
+  // evaluates it on the state directly — same retained order, exact min,
+  // so bitwise-equal to the substrate sweep — because the substrate's
+  // faulty pass may simply fail again. ----
+  if (!lambda_fresh) {
+    if (result.status == SolverStatus::kDegraded) {
+      result.lambda = state.lambda(lg, pool, popt.grain);
+    } else {
+      try {
+        result.lambda = pipeline.open_round(state);
+      } catch (const SubstrateFault& fault) {
+        result.status = SolverStatus::kDegraded;
+        result.fault_detail = fault.what();
+        result.lambda = state.lambda(lg, pool, popt.grain);
+      }
+    }
+  }
   result.beta = inc.beta;
   // Best verified bound among the multiplicative-weights certificate and
   // the cheap witness duals (the latter floor the guarantee while the dual

@@ -31,6 +31,8 @@
 // whenever lambda > 0, so value/bound is a true approximation certificate.
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "core/oracle.hpp"
@@ -39,12 +41,27 @@
 #include "matching/approx.hpp"
 #include "matching/matching.hpp"
 #include "util/accounting.hpp"
+#include "util/fault.hpp"
 
 namespace dp::access {
 class Substrate;
 }
 
 namespace dp::core {
+
+struct RoundCheckpoint;  // core/checkpoint.hpp
+
+/// How a solve ended.
+enum class SolverStatus {
+  /// The round loop ran to its stopping rule (or round budget).
+  kComplete,
+  /// A substrate fault exhausted its retry budget mid-round; the result is
+  /// the best primal found so far with its certificate-backed ratio (the
+  /// dual iterate from the completed rounds is still a sound bound).
+  kDegraded,
+  /// An on_checkpoint callback returned false after a completed round.
+  kInterrupted,
+};
 
 struct SolverOptions {
   /// Target approximation slack (0 < eps <= 1/4 recommended).
@@ -76,6 +93,24 @@ struct SolverOptions {
   /// substrates; only the substrate's ResourceMeter — merged into
   /// SolverResult::meter — reflects the access model's cost.
   access::Substrate* substrate = nullptr;
+  /// Fault injection + retry budget, installed on the substrate before
+  /// bind() (src/access wires the injection sites; the in-memory reference
+  /// has none). Retries are invisible to the result — sampling masks and
+  /// sweep kernels are pure, so a survived fault changes only the meter.
+  /// An EXHAUSTED budget degrades gracefully: the solve returns the best
+  /// primal so far with SolverStatus::kDegraded instead of throwing.
+  FaultPlan faults;
+  /// Invoked after every completed outer round with a checkpoint that
+  /// resumes the solve bitwise-identically (core/checkpoint). Return false
+  /// to stop the solve (SolverStatus::kInterrupted). The callback owns
+  /// persistence — typically RoundCheckpoint::serialize to stable storage.
+  std::function<bool(const RoundCheckpoint&)> on_checkpoint;
+  /// Resume from a checkpoint produced by on_checkpoint for the SAME solve
+  /// configuration and instance (validated; ConfigError on mismatch). Must
+  /// outlive solve(). The resumed run replays nothing: it restores the
+  /// dual iterate, incumbent, history and meters, then continues at
+  /// next_round.
+  const RoundCheckpoint* resume_from = nullptr;
 };
 
 struct RoundStats {
@@ -105,6 +140,11 @@ struct SolverResult {
   std::size_t oracle_calls = 0;
   ResourceMeter meter;
   std::vector<RoundStats> history;
+  /// How the solve ended (kDegraded/kInterrupted results still carry a
+  /// rigorous dual_bound and certified_ratio for the value returned).
+  SolverStatus status = SolverStatus::kComplete;
+  /// For kDegraded: the exhausted fault's message (site/round/attempt).
+  std::string fault_detail;
 };
 
 class Solver {
@@ -117,7 +157,12 @@ class Solver {
 
   SolverResult solve();
 
+  /// Resume from `resume_from` (overrides SolverOptions::resume_from).
+  SolverResult solve(const RoundCheckpoint& resume_from);
+
  private:
+  SolverResult solve_impl(const RoundCheckpoint* resume);
+
   const Graph* g_;
   Capacities b_;
   SolverOptions options_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <exception>
 #include <sstream>
 #include <unordered_map>
 
@@ -12,16 +13,22 @@ namespace dp::mapreduce {
 
 ReducerMemoryExceeded::ReducerMemoryExceeded(std::size_t key, std::size_t got,
                                              std::size_t cap)
-    : std::runtime_error([&] {
-        std::ostringstream os;
-        os << "reducer for key " << key << " received " << got
-           << " values, exceeding the memory cap " << cap;
-        return os.str();
-      }()) {}
+    : ConfigError(
+          [&] {
+            std::ostringstream os;
+            os << "reducer for key " << key << " received " << got
+               << " values, exceeding the memory cap " << cap;
+            return os.str();
+          }(),
+          ErrorContext{fault_site_name(FaultSite::kReducerTask)}) {}
 
 Simulator::Simulator(Config config, ResourceMeter* meter)
     : config_(config), meter_(meter), pool_(config.threads) {
   if (config_.machines == 0) config_.machines = 1;
+  if (config_.faults != nullptr) {
+    injector_ = FaultInjector(config_.faults->config);
+    retry_ = config_.faults->retry;
+  }
 }
 
 std::vector<KeyValue> Simulator::round(
@@ -36,17 +43,67 @@ std::vector<KeyValue> Simulator::round(
   }
 
   // ---- Map phase: shard input contiguously, run mappers in parallel. ----
+  // Each shard is ONE retriable task (FaultSite::kMapperShard). Pool tasks
+  // must never throw (the worker loop would terminate the process), so
+  // each slot records its outcome — exception, injected-fault count,
+  // wasted emissions — and the calling thread folds the slots in shard
+  // order after the join: deterministic accounting, first error wins.
   const std::size_t shards = config_.machines;
   const std::size_t shard_size = (input.size() + shards - 1) / shards;
+  const std::uint64_t round_ord = rounds_;
   std::vector<std::vector<KeyValue>> mapped(shards);
+  std::vector<std::size_t> map_wasted(shards, 0);
+  std::vector<std::size_t> map_faults(shards, 0);
+  std::vector<std::exception_ptr> map_errors(shards);
   pool_.parallel_for(0, shards, [&](std::size_t s) {
     const std::size_t lo = s * shard_size;
     const std::size_t hi = std::min(input.size(), lo + shard_size);
     if (lo >= hi && !(s == 0 && input.empty())) return;
     std::vector<KeyValue> shard(input.begin() + static_cast<long>(lo),
                                 input.begin() + static_cast<long>(hi));
-    mapper(shard, mapped[s]);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      mapped[s].clear();
+      try {
+        mapper(shard, mapped[s]);
+      } catch (...) {
+        // The mapper's own exception is deterministic user code, not a
+        // transient fault: surface it without retrying.
+        map_errors[s] = std::current_exception();
+        return;
+      }
+      if (!injector_.should_fail(FaultSite::kMapperShard, round_ord, s,
+                                 attempt)) {
+        return;
+      }
+      // Injected task death after its emissions entered the shuffle
+      // fabric: the spilled messages are wasted work, the output is
+      // discarded and the task re-executes.
+      ++map_faults[s];
+      map_wasted[s] += mapped[s].size();
+      if (attempt + 1 >= retry_.max_attempts) {
+        mapped[s].clear();
+        map_errors[s] = std::make_exception_ptr(SubstrateFault(
+            "mapper shard task failed; retry budget exhausted",
+            {fault_site_name(FaultSite::kMapperShard), round_ord, attempt}));
+        return;
+      }
+      retry_.backoff(injector_, FaultSite::kMapperShard, round_ord, s,
+                     attempt);
+    }
   });
+  if (meter_ != nullptr) {
+    std::size_t wasted = 0;
+    std::size_t faults = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      wasted += map_wasted[s];
+      faults += map_faults[s];
+    }
+    meter_->add_messages(wasted);
+    meter_->add_faults(faults);
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (map_errors[s] != nullptr) std::rethrow_exception(map_errors[s]);
+  }
 
   // ---- Shuffle: group by key (single-threaded; metered as messages). ----
   std::size_t shuffle_volume = 0;
@@ -72,10 +129,55 @@ std::vector<KeyValue> Simulator::round(
   for (const auto& [key, values] : grouped) keys.push_back(key);
   std::sort(keys.begin(), keys.end());  // deterministic order
 
+  // Each key is ONE retriable task (FaultSite::kReducerTask). A retried
+  // reducer re-fetches its grouped input from the shuffle fabric, so every
+  // failed attempt re-charges the task's input volume as messages. Same
+  // per-slot collection / post-join folding discipline as the map phase.
   std::vector<std::vector<KeyValue>> reduced(keys.size());
+  std::vector<std::size_t> red_refetched(keys.size(), 0);
+  std::vector<std::size_t> red_faults(keys.size(), 0);
+  std::vector<std::exception_ptr> red_errors(keys.size());
   pool_.parallel_for(0, keys.size(), [&](std::size_t i) {
-    reducer(keys[i], grouped.at(keys[i]), reduced[i]);
+    const std::uint64_t key = keys[i];
+    const std::vector<std::uint64_t>& values = grouped.at(key);
+    for (std::uint64_t attempt = 0;; ++attempt) {
+      reduced[i].clear();
+      try {
+        reducer(key, values, reduced[i]);
+      } catch (...) {
+        red_errors[i] = std::current_exception();
+        return;
+      }
+      if (!injector_.should_fail(FaultSite::kReducerTask, round_ord, key,
+                                 attempt)) {
+        return;
+      }
+      ++red_faults[i];
+      red_refetched[i] += values.size();
+      if (attempt + 1 >= retry_.max_attempts) {
+        reduced[i].clear();
+        red_errors[i] = std::make_exception_ptr(SubstrateFault(
+            "reducer task failed; retry budget exhausted",
+            {fault_site_name(FaultSite::kReducerTask), round_ord, attempt}));
+        return;
+      }
+      retry_.backoff(injector_, FaultSite::kReducerTask, round_ord, key,
+                     attempt);
+    }
   });
+  if (meter_ != nullptr) {
+    std::size_t refetched = 0;
+    std::size_t faults = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      refetched += red_refetched[i];
+      faults += red_faults[i];
+    }
+    meter_->add_messages(refetched);
+    meter_->add_faults(faults);
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (red_errors[i] != nullptr) std::rethrow_exception(red_errors[i]);
+  }
 
   std::vector<KeyValue> output;
   for (const auto& r : reduced) {
@@ -90,8 +192,7 @@ std::vector<std::vector<std::uint32_t>> sample_round(
   // Same t cap the in-memory engine enforces (the contract is bitwise
   // agreement with SamplingEngine::draw, including its rejections).
   if (t > core::kMaxSparsifiersPerRound) {
-    throw std::invalid_argument(
-        "sample_round: at most 32 sparsifiers per round");
+    throw ConfigError("sample_round: at most 32 sparsifiers per round");
   }
   // Input record per edge: key = edge index, value = its inclusion
   // probability (bit-punned; mapreduce values are 64-bit words).

@@ -11,13 +11,27 @@
 //
 // Values are 64-bit words (enough for edge ids / packed edges / sketch
 // words); richer payloads pack into multiple words.
+//
+// Fault tolerance (util/fault): with a FaultPlan in Config, individual
+// mapper-shard and reducer tasks fail deterministically (FaultSite::
+// kMapperShard / kReducerTask, keyed by (simulator round, shard-or-key))
+// and are retried per task up to the plan's budget — exactly the recovery
+// real MapReduce runtimes perform. A failed mapper's emissions are wasted
+// shuffle work (charged as messages, output discarded); a retried reducer
+// re-fetches its input values (charged as messages). Task-level failures
+// and their charges are collected per task slot and folded into the meter
+// AFTER the phase joins, in deterministic shard/key order — so totals are
+// thread-count-invariant and mapper/reducer outputs stay bitwise identical
+// to a fault-free round. An exhausted budget surfaces as a SubstrateFault
+// rethrown on the calling thread (never from inside a pool task).
 
 #include <cstdint>
 #include <functional>
-#include <stdexcept>
 #include <vector>
 
 #include "util/accounting.hpp"
+#include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dp::mapreduce {
@@ -35,10 +49,16 @@ struct Config {
   std::size_t reducer_memory = 0;
   /// Worker threads for physical execution (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Task-level fault injection + retry budget; nullptr = fault-free. The
+  /// plan must outlive the simulator (the access substrate passes its own
+  /// stable copy).
+  const FaultPlan* faults = nullptr;
 };
 
-/// Thrown when a reducer receives more values than Config::reducer_memory.
-class ReducerMemoryExceeded : public std::runtime_error {
+/// Thrown when a reducer receives more values than Config::reducer_memory —
+/// a deterministic model violation (the algorithm over-shipped to one
+/// reducer), NOT a transient fault: it is never retried.
+class ReducerMemoryExceeded : public ConfigError {
  public:
   explicit ReducerMemoryExceeded(std::size_t key, std::size_t got,
                                  std::size_t cap);
@@ -69,6 +89,8 @@ class Simulator {
   ResourceMeter* meter_;
   ThreadPool pool_;
   std::size_t rounds_ = 0;
+  FaultInjector injector_;  // disabled unless config.faults is set
+  RetryPolicy retry_;
 };
 
 /// One deferred-sampling round executed as a single MapReduce round: mappers

@@ -1,5 +1,6 @@
 #include "stream/edge_stream.hpp"
 
+#include <memory>
 #include <numeric>
 
 #include "util/rng.hpp"
@@ -39,15 +40,23 @@ const std::vector<EdgeId>& EdgeStream::order_for(std::uint64_t seed) const {
        node != nullptr; node = node->next) {
     if (node->seed == seed) return node->order;
   }
-  auto* entry = new ShuffleOrder;
+  // All-or-nothing publication: the entry is owned locally until the
+  // permutation is completely built, and becomes visible to the lock-free
+  // readers above only via the final release store. A build that dies
+  // mid-way (allocation failure, a fault injected into the first pass that
+  // triggered the build) publishes NOTHING — concurrent passes and the
+  // retry never observe a partial permutation, and the unwound entry is
+  // reclaimed by the unique_ptr.
+  auto entry = std::make_unique<ShuffleOrder>();
   entry->seed = seed;
   entry->order.resize(graph_->num_edges());
   std::iota(entry->order.begin(), entry->order.end(), EdgeId{0});
   Rng rng(seed);
   rng.shuffle(entry->order);
   entry->next = orders_.load(std::memory_order_relaxed);
-  orders_.store(entry, std::memory_order_release);
-  return entry->order;
+  ShuffleOrder* published = entry.release();
+  orders_.store(published, std::memory_order_release);
+  return published->order;
 }
 
 }  // namespace dp

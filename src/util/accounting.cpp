@@ -14,6 +14,7 @@ void ResourceMeter::merge(const ResourceMeter& other) noexcept {
   messages_ += other.messages_;
   inner_iterations_ += other.inner_iterations_;
   oracle_calls_ += other.oracle_calls_;
+  faults_ += other.faults_;
 }
 
 std::string ResourceMeter::summary() const {
@@ -21,7 +22,7 @@ std::string ResourceMeter::summary() const {
   os << "rounds=" << rounds_ << " passes=" << passes_
      << " peak_edges=" << peak_edges_ << " sketch_words=" << sketch_words_
      << " messages=" << messages_ << " inner_iters=" << inner_iterations_
-     << " oracle_calls=" << oracle_calls_;
+     << " oracle_calls=" << oracle_calls_ << " faults=" << faults_;
   return os.str();
 }
 

@@ -58,6 +58,11 @@ class ResourceMeter {
   /// Oracle invocations (MicroOracle calls in Theorem 1).
   void add_oracle_calls(std::size_t k = 1) noexcept { oracle_calls_ += k; }
 
+  /// Injected (or real) substrate faults survived via retry. The cost of
+  /// each retry lands on the counters above — an extra pass, re-shuffled
+  /// messages — so faults() is the denominator of per-fault recovery cost.
+  void add_faults(std::size_t k = 1) noexcept { faults_ += k; }
+
   std::size_t rounds() const noexcept { return rounds_; }
   std::size_t passes() const noexcept { return passes_; }
   std::size_t stored_edges() const noexcept { return stored_edges_; }
@@ -66,6 +71,7 @@ class ResourceMeter {
   std::size_t messages() const noexcept { return messages_; }
   std::size_t inner_iterations() const noexcept { return inner_iterations_; }
   std::size_t oracle_calls() const noexcept { return oracle_calls_; }
+  std::size_t faults() const noexcept { return faults_; }
 
   void reset() noexcept { *this = ResourceMeter{}; }
 
@@ -84,6 +90,7 @@ class ResourceMeter {
   std::size_t messages_ = 0;
   std::size_t inner_iterations_ = 0;
   std::size_t oracle_calls_ = 0;
+  std::size_t faults_ = 0;
 };
 
 }  // namespace dp

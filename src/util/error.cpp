@@ -1,0 +1,40 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace dp {
+
+namespace {
+
+std::string format_message(const std::string& message,
+                           const ErrorContext& context) {
+  if (context.site.empty() && context.round == kNoErrorContext &&
+      context.attempt == kNoErrorContext) {
+    return message;
+  }
+  std::ostringstream os;
+  os << message << " [";
+  bool first = true;
+  auto field = [&](const char* name, const std::string& value) {
+    if (!first) os << ' ';
+    os << name << '=' << value;
+    first = false;
+  };
+  if (!context.site.empty()) field("site", context.site);
+  if (context.round != kNoErrorContext) {
+    field("round", std::to_string(context.round));
+  }
+  if (context.attempt != kNoErrorContext) {
+    field("attempt", std::to_string(context.attempt));
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+SolverError::SolverError(const std::string& message, ErrorContext context)
+    : std::runtime_error(format_message(message, context)),
+      context_(std::move(context)) {}
+
+}  // namespace dp

@@ -1,0 +1,67 @@
+#pragma once
+// Typed error hierarchy for the solver and its access substrates.
+//
+// Every failure the library raises carries (a) a class identifying WHAT
+// went wrong — configuration vs. a transient substrate fault vs. a corrupt
+// checkpoint — and (b) an ErrorContext saying WHERE: the injection/failure
+// site, the round ordinal and the retry attempt. The split matters for the
+// fault-tolerance layer (util/fault): SubstrateFault is the only class the
+// retry/degradation machinery treats as transient and recoverable;
+// ConfigError and CheckpointCorrupt are deterministic model or input
+// violations that always propagate to the caller.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace dp {
+
+/// Sentinel for ErrorContext fields that do not apply.
+inline constexpr std::uint64_t kNoErrorContext = ~std::uint64_t{0};
+
+/// Where a failure happened: the site label ("stream.pass",
+/// "mapreduce.mapper", ...), the round/event ordinal at that site, and the
+/// retry attempt that observed it (0 = first execution).
+struct ErrorContext {
+  std::string site;
+  std::uint64_t round = kNoErrorContext;
+  std::uint64_t attempt = kNoErrorContext;
+};
+
+/// Root of the library's typed errors. what() includes the formatted
+/// context; context() exposes it structurally.
+class SolverError : public std::runtime_error {
+ public:
+  explicit SolverError(const std::string& message, ErrorContext context = {});
+
+  const ErrorContext& context() const noexcept { return context_; }
+
+ private:
+  ErrorContext context_;
+};
+
+/// Deterministic misconfiguration or model violation (bad parameter,
+/// reducer memory cap exceeded, checkpoint/solve identity mismatch).
+/// Never retried.
+class ConfigError : public SolverError {
+ public:
+  using SolverError::SolverError;
+};
+
+/// Transient failure of an access substrate (a stream pass dying mid-pass,
+/// a mapper/reducer task lost). The retry machinery re-executes the failed
+/// pass/task; if the budget is exhausted the solver degrades gracefully
+/// (SolverStatus::kDegraded) instead of propagating.
+class SubstrateFault : public SolverError {
+ public:
+  using SolverError::SolverError;
+};
+
+/// A RoundCheckpoint that fails validation (bad magic/version, checksum
+/// mismatch, truncated payload). Never retried.
+class CheckpointCorrupt : public SolverError {
+ public:
+  using SolverError::SolverError;
+};
+
+}  // namespace dp

@@ -277,16 +277,22 @@ TEST(MapReduce, ReducerMemoryCapEnforced) {
   config.reducer_memory = 5;
   mapreduce::Simulator sim(config);
   std::vector<KeyValue> input(10, KeyValue{1, 1});  // all to one reducer
-  EXPECT_THROW(
-      sim.round(
-          input,
-          [](const std::vector<KeyValue>& shard,
-             std::vector<KeyValue>& emit) {
-            for (const KeyValue& kv : shard) emit.push_back(kv);
-          },
-          [](std::uint64_t, const std::vector<std::uint64_t>&,
-             std::vector<KeyValue>&) {}),
-      mapreduce::ReducerMemoryExceeded);
+  try {
+    sim.round(
+        input,
+        [](const std::vector<KeyValue>& shard, std::vector<KeyValue>& emit) {
+          for (const KeyValue& kv : shard) emit.push_back(kv);
+        },
+        [](std::uint64_t, const std::vector<std::uint64_t>&,
+           std::vector<KeyValue>&) {});
+    FAIL() << "expected ReducerMemoryExceeded";
+  } catch (const mapreduce::ReducerMemoryExceeded& err) {
+    // Typed hierarchy: a model violation is a ConfigError (is-a
+    // SolverError), distinct from the retriable SubstrateFault.
+    EXPECT_NE(dynamic_cast<const ConfigError*>(&err), nullptr);
+    EXPECT_NE(dynamic_cast<const SolverError*>(&err), nullptr);
+    EXPECT_EQ(err.context().site, fault_site_name(FaultSite::kReducerTask));
+  }
 }
 
 TEST(MapReduce, MultipleRoundsCounted) {

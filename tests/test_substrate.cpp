@@ -187,6 +187,9 @@ TEST(Substrate, MapReduceMetersOneSimulatorRoundPerSamplingRound) {
   expect_same_result(result, capped_result, "reducer cap below m");
 
   // A cap below any sparsifier's support must throw (model violation).
+  // The error is typed: ReducerMemoryExceeded is-a ConfigError is-a
+  // SolverError carrying the reducer site in its context — never a
+  // transient fault, never retried.
   access::MapReduceSubstrate::Config broken;
   broken.machines = 8;
   broken.reducer_memory = 1;
@@ -194,8 +197,16 @@ TEST(Substrate, MapReduceMetersOneSimulatorRoundPerSamplingRound) {
   SolverOptions starved_opt = base_options();
   starved_opt.eps = 0.25;
   starved_opt.substrate = &starved;
-  EXPECT_THROW(solve_matching(g, starved_opt),
-               mapreduce::ReducerMemoryExceeded);
+  try {
+    solve_matching(g, starved_opt);
+    FAIL() << "expected ReducerMemoryExceeded";
+  } catch (const ConfigError& err) {
+    EXPECT_NE(dynamic_cast<const mapreduce::ReducerMemoryExceeded*>(&err),
+              nullptr);
+    EXPECT_NE(dynamic_cast<const SolverError*>(&err), nullptr);
+    EXPECT_EQ(err.context().site, fault_site_name(FaultSite::kReducerTask));
+    EXPECT_NE(std::string(err.what()).find("memory cap"), std::string::npos);
+  }
 }
 
 TEST(Substrate, MeterThreadCountInvariantPerSubstrate) {
