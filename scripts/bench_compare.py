@@ -10,7 +10,7 @@ regression; the direction is inferred from the column name:
   higher is better:  *_per_sec, speedup, *ratio*, greedy, ps, filtering,
                      sample_solve, dual_primal
   lower is better:   *seconds*, *_err, max_err, stored, frac, oracle_calls,
-                     conv_round, total_rounds
+                     conv_round, total_rounds, p50, p95, p99
 
 Columns with no known direction (n, m, eps, ...) are treated as row keys /
 informational and never flagged.
@@ -31,7 +31,7 @@ import sys
 EXACT_HIGHER = {"speedup", "greedy", "ps", "filtering", "sample_solve",
                 "dual_primal"}
 EXACT_LOWER = {"stored", "frac", "max_err", "oracle_calls", "conv_round",
-               "total_rounds"}
+               "total_rounds", "p50", "p95", "p99"}
 # Unambiguous substrings for derived metric names.
 SUBSTR_HIGHER = ("_per_sec", "ratio")
 SUBSTR_LOWER = ("seconds", "_err")

@@ -13,7 +13,10 @@
 # BENCH_substrate.json), and bench_faults (which gates clean ==
 # fault-injected == killed+resumed bitwise across substrates and 1/2/8
 # threads and refreshes BENCH_faults.json with the recovery accounting
-# and checkpoint-overhead columns).
+# and checkpoint-overhead columns), and finally bench_serve --quick
+# (which gates the serving layer's certified-or-typed response invariant
+# plus the deadline -> warm-resume bitwise round-trip, and refreshes
+# BENCH_serve.json with the latency percentile / shed-rate columns).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,4 +30,5 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 "./$BUILD_DIR/bench_runtime"
 "./$BUILD_DIR/bench_substrate"
 "./$BUILD_DIR/bench_faults"
+"./$BUILD_DIR/bench_serve" --quick
 echo "check.sh: OK"

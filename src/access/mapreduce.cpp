@@ -31,7 +31,9 @@ void MapReduceSubstrate::multiplier_sweep(const SweepKernel& kernel) {
   // contiguous input shard, dispatched concurrently like the machines the
   // model describes (the kernel is pure per index, so the output is
   // bitwise identical to a serial shard walk). The simulator round itself
-  // (and its charge) is the draw's shuffle/reduce.
+  // (and its charge) is the draw's shuffle/reduce. The stop is polled at
+  // access entry only — shard workers must never throw.
+  poll_stop("mapreduce.map");
   const std::size_t m = table_.size();
   const std::size_t shards = config_.machines == 0 ? 1 : config_.machines;
   const std::size_t shard_size = (m + shards - 1) / shards;
@@ -51,6 +53,7 @@ const core::SamplingRound& MapReduceSubstrate::draw(
   // shards, reducer q collects sparsifier q's support under the memory
   // cap. sample_round charges the pass + stored incidences; the simulator
   // (sharing the substrate meter) charges the round and shuffle volume.
+  poll_stop("mapreduce.round");
   const auto supports =
       mapreduce::sample_round(*sim_, prob, t, round, seed, &meter_);
   return engine_.adopt_supports(prob.size(), t, supports);

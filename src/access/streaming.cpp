@@ -28,6 +28,7 @@ void StreamingSubstrate::multiplier_sweep(const SweepKernel& kernel) {
   const std::uint64_t m = g_->num_edges();
   const RetainedEdge* edges = table_.data();
   const std::uint32_t* retained_of = retained_of_.data();
+  const bool poll_chunks = stop_.armed();
   for (std::uint64_t attempt = 0;; ++attempt) {
     meter_.add_pass();
     const std::uint64_t fail_at =
@@ -35,6 +36,14 @@ void StreamingSubstrate::multiplier_sweep(const SweepKernel& kernel) {
     try {
       std::uint64_t arrival = 0;
       stream_->for_each_pass_indexed([&](EdgeId pos, const Edge&) {
+        // Pass-chunk safe point: one pass dominates a streaming round's
+        // wall time, so a deadline must be able to fire inside it. The
+        // kernel only fills pure per-index buffers — abandoning the pass
+        // loses no state. SolveAborted is not a SubstrateFault, so it
+        // bypasses the retry loop below.
+        if (poll_chunks && (arrival & (kStopPollStride - 1)) == 0) {
+          stop_.throw_if_stopped("stream.pass");
+        }
         if (arrival++ == fail_at) {
           throw SubstrateFault(
               "stream pass died mid-pass (multiplier sweep)",
@@ -70,12 +79,20 @@ const core::SamplingRound& StreamingSubstrate::draw(
   // and the engine's draw restarts clean (its buffers reset at entry).
   const std::uint64_t pass = pass_ordinal_ == 0 ? 0 : pass_ordinal_ - 1;
   const std::uint64_t m = g_->num_edges();
+  const bool poll_chunks = stop_.armed();
   for (std::uint64_t attempt = 0;; ++attempt) {
     const std::uint64_t fail_at =
         fault_offset_or_none(FaultSite::kStreamPass, pass, 1, attempt, m);
     try {
+      // The arrival probe carries both interleaved duties of the physical
+      // re-walk: the deterministic mid-pass fault and the pass-chunk stop
+      // poll (the draw stores only sampled edges, so abandoning it loses
+      // no state either).
       const std::function<void(std::uint64_t)> probe =
           [&](std::uint64_t arrival) {
+            if (poll_chunks && (arrival & (kStopPollStride - 1)) == 0) {
+              stop_.throw_if_stopped("stream.pass");
+            }
             if (arrival == fail_at) {
               throw SubstrateFault(
                   "stream pass died mid-pass (draw)",
@@ -84,7 +101,7 @@ const core::SamplingRound& StreamingSubstrate::draw(
           };
       const core::SamplingRound& draws = engine_.draw_stream_mapped(
           *stream_, retained_of_, order_seed, prob, t, round, seed,
-          fail_at == kNoFault ? nullptr : &probe);
+          fail_at == kNoFault && !poll_chunks ? nullptr : &probe);
       meter_.add_round();
       meter_.store_edges(draws.stored_total());
       return draws;

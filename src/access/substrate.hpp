@@ -44,6 +44,7 @@
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
 #include "util/accounting.hpp"
+#include "util/cancel.hpp"
 #include "util/fault.hpp"
 
 namespace dp {
@@ -136,12 +137,26 @@ class Substrate {
   void set_fault_plan(const FaultPlan& plan) { plan_ = plan; }
   const FaultPlan& fault_plan() const noexcept { return plan_; }
 
+  /// Install the cooperative stop for subsequent solves (the solver wires
+  /// SolverOptions' cancel/deadline here before bind()). Sweeps and draws
+  /// poll it at their safe points — access entry everywhere, plus every
+  /// pass chunk on the streaming backend, where a single pass dominates
+  /// the round's wall time — and raise SolveAborted, which is NOT a
+  /// SubstrateFault: it bypasses the retry machinery and unwinds to the
+  /// solver, which returns the anytime result.
+  void set_stop(const StopCheck& stop) { stop_ = stop; }
+
  protected:
   /// Backend hook invoked at the end of bind() (the table is ready).
   virtual void on_bind() {}
 
   /// No-fault sentinel of fault_offset_or_none.
   static constexpr std::uint64_t kNoFault = ~std::uint64_t{0};
+
+  /// Arrival stride (power of two) between stop polls inside a streaming
+  /// pass — coarse enough to be free, fine enough that a deadline fires
+  /// within a chunk of any realistically sized pass.
+  static constexpr std::uint64_t kStopPollStride = 1024;
 
   /// Injection decision for event (site, a, b) on `attempt`: the arrival
   /// offset in [0, bound) where the event dies, or kNoFault. Pure function
@@ -154,6 +169,9 @@ class Substrate {
     return injector_.fail_offset(site, a, b, attempt, bound);
   }
 
+  /// Poll the stop at an access-entry safe point.
+  void poll_stop(const char* site) const { stop_.throw_if_stopped(site); }
+
   const Graph* g_ = nullptr;
   const core::LevelGraph* lg_ = nullptr;
   ThreadPool* pool_ = nullptr;
@@ -165,6 +183,7 @@ class Substrate {
   FaultPlan plan_;           // default: injection disabled
   FaultInjector injector_;   // rebuilt from plan_ at bind()
   RetryPolicy retry_;        // plan_'s budget, snapshot at bind()
+  StopCheck stop_;           // unarmed unless set_stop() installed one
 };
 
 }  // namespace dp::access

@@ -145,7 +145,11 @@ RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
                                                     Incumbent& inc,
                                                     ResourceMeter& meter) {
   RoundReport report;
+  // Stage boundaries are safe points: no partially-applied state mutation
+  // exists between stages, so a stop here loses at most buffer fills.
+  options_.stop.throw_if_stopped("pipeline.multipliers");
   const double alpha = stage_multipliers(lambda, round);
+  options_.stop.throw_if_stopped("pipeline.draw");
   const SamplingRound& draws = stage_draw(round);
   report.stored_edges = draws.stored_total();
   // OfflineResolve overlaps InnerRefine: the job reads only the frozen
@@ -223,6 +227,10 @@ void RoundPipeline::stage_inner(const SamplingRound& draws, double alpha,
                                 RoundReport& report) {
   const double eps = options_.eps;
   for (std::size_t q = 0; q < draws.num_sparsifiers(); ++q) {
+    // Inner-iteration boundary: each completed iteration's blend is a
+    // whole dual step, so stopping between iterations leaves a valid
+    // iterate (run_round's catch joins the offline job before unwinding).
+    options_.stop.throw_if_stopped("pipeline.inner");
     // Deferred refinement: evaluate the CURRENT multipliers on exactly the
     // stored indices (no new data access). Sparsifier q's support is a
     // bit-filtered extraction of the round's frozen union.

@@ -64,6 +64,7 @@
 #include "matching/matching.hpp"
 #include "sparsify/deferred.hpp"
 #include "util/accounting.hpp"
+#include "util/cancel.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -103,6 +104,11 @@ struct RoundPipelineOptions {
   /// Counter-RNG seed of the draw stream (pure function of (seed, round,
   /// q, edge) — see core/sampling).
   std::uint64_t sample_seed = 0;
+  /// Cooperative stop (util/cancel), polled at every stage boundary and
+  /// between inner MW iterations — the pipeline's safe points. Firing
+  /// raises SolveAborted after the in-flight OfflineResolve job (if any)
+  /// is joined, so no stage ever outlives the unwind. Unarmed by default.
+  StopCheck stop;
 };
 
 class RoundPipeline {

@@ -113,6 +113,13 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
                                      ? options_.substrate
                                      : &default_substrate;
   substrate->set_fault_plan(options_.faults);
+  // Cooperative stop (util/cancel): the same poll is threaded through the
+  // pipeline's stage boundaries and the substrate's pass chunks. Firing
+  // raises SolveAborted at a safe point; the handlers below convert it
+  // into the anytime result.
+  const StopCheck stop(options_.cancel, options_.deadline);
+  popt.stop = stop;
+  substrate->set_stop(stop);
   substrate->bind(g, lg, pool, popt.grain);
 
   RoundPipeline pipeline(*substrate, lg, b_, unit_caps, oracle, popt);
@@ -192,8 +199,60 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
   }
 
   // ---- Outer sampling rounds. ----
+  // Checkpoints are built after every completed round when the caller
+  // installed a hook OR armed a stop: an early-stopped solve then carries
+  // its own resume handle (SolverResult::checkpoint) so a re-submitted
+  // request warm-resumes instead of restarting.
+  const bool keep_checkpoints = options_.on_checkpoint || stop.armed();
+  std::shared_ptr<RoundCheckpoint> last_ck;
+  const auto status_of = [](StopReason reason) {
+    return reason == StopReason::kDeadline ? SolverStatus::kDeadline
+                                           : SolverStatus::kCancelled;
+  };
+  const auto build_checkpoint = [&](std::size_t next_round,
+                                    const DualState& st,
+                                    const Incumbent& incumbent) {
+    auto ck = std::make_shared<RoundCheckpoint>();
+    ck->solver_seed = options_.seed;
+    ck->eps = eps;
+    ck->p = p;
+    ck->sparsifiers = t;
+    ck->sample_seed = popt.sample_seed;
+    ck->n = g.num_vertices();
+    ck->m = g.num_edges();
+    ck->retained = retained.size();
+    ck->levels = lg.num_levels();
+    ck->next_round = next_round;
+    ck->outer_rounds = result.outer_rounds;
+    ck->oracle_calls = result.oracle_calls;
+    ck->best_value = incumbent.value;
+    ck->beta = incumbent.beta;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      const std::int64_t mult = incumbent.best.multiplicity(e);
+      if (mult > 0) ck->best_support.emplace_back(e, mult);
+    }
+    ck->scale = st.scale();
+    const FlatDuals& xik = st.raw_xik();
+    ck->xik.reserve(xik.active_count());
+    for (const std::uint64_t key : xik.active()) {
+      ck->xik.emplace_back(key, xik.get(key));
+    }
+    ck->xi = st.raw_xi();
+    ck->odd_sets = st.odd_sets();
+    ck->history = result.history;
+    ck->solve_meter = MeterSnapshot::of(result.meter);
+    ck->substrate_meter = MeterSnapshot::of(substrate->meter());
+    return ck;
+  };
+
   bool lambda_fresh = false;
   for (std::size_t round = start_round; round < max_rounds; ++round) {
+    // Safe point: the round-loop top. Nothing of round `round` has run, so
+    // the state, the incumbent and last_ck are all the previous round's.
+    if (const StopReason reason = stop.poll(); reason != StopReason::kNone) {
+      result.status = status_of(reason);
+      break;
+    }
     // lambda and early stopping (Corollary 6's certificate): the round's
     // opening substrate sweep — on the streaming backend this is the
     // iteration's single pass, shared with the multiplier stage. A fault
@@ -203,6 +262,11 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
     double lambda = 0;
     try {
       lambda = pipeline.open_round(state);
+    } catch (const SolveAborted& aborted) {
+      // The sweep only fills pure per-index buffers, so abandoning it
+      // mid-pass loses nothing: the state is the last completed round's.
+      result.status = status_of(aborted.reason());
+      break;
     } catch (const SubstrateFault& fault) {
       result.status = SolverStatus::kDegraded;
       result.fault_detail = fault.what();
@@ -221,6 +285,14 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
     RoundPipeline::RoundReport rep;
     try {
       rep = pipeline.run_round(round, lambda, state, inc, result.meter);
+    } catch (const SolveAborted& aborted) {
+      // Stage/iteration boundaries are safe points, but inner iterations
+      // may already have blended into the dual state; the anytime
+      // certificate below re-evaluates lambda on the state as it stands
+      // (any dual iterate certifies exactly). Resume still goes through
+      // last_ck — the previous round boundary.
+      result.status = status_of(aborted.reason());
+      break;
     } catch (const SubstrateFault& fault) {
       // Injection sites precede the round's state mutations (the sweep and
       // the draw both run before stage_inner touches the dual state), so
@@ -240,42 +312,20 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
                      << " beta=" << inc.beta << " best=" << inc.value
                      << " stored=" << rep.stored_edges);
 
-    if (options_.on_checkpoint) {
-      RoundCheckpoint ck;
-      ck.solver_seed = options_.seed;
-      ck.eps = eps;
-      ck.p = p;
-      ck.sparsifiers = t;
-      ck.sample_seed = popt.sample_seed;
-      ck.n = g.num_vertices();
-      ck.m = g.num_edges();
-      ck.retained = retained.size();
-      ck.levels = lg.num_levels();
-      ck.next_round = round + 1;
-      ck.outer_rounds = result.outer_rounds;
-      ck.oracle_calls = result.oracle_calls;
-      ck.best_value = inc.value;
-      ck.beta = inc.beta;
-      for (EdgeId e = 0; e < g.num_edges(); ++e) {
-        const std::int64_t mult = inc.best.multiplicity(e);
-        if (mult > 0) ck.best_support.emplace_back(e, mult);
-      }
-      ck.scale = state.scale();
-      const FlatDuals& xik = state.raw_xik();
-      ck.xik.reserve(xik.active_count());
-      for (const std::uint64_t key : xik.active()) {
-        ck.xik.emplace_back(key, xik.get(key));
-      }
-      ck.xi = state.raw_xi();
-      ck.odd_sets = state.odd_sets();
-      ck.history = result.history;
-      ck.solve_meter = MeterSnapshot::of(result.meter);
-      ck.substrate_meter = MeterSnapshot::of(substrate->meter());
-      if (!options_.on_checkpoint(ck)) {
+    if (keep_checkpoints) {
+      last_ck = build_checkpoint(round + 1, state, inc);
+      if (options_.on_checkpoint && !options_.on_checkpoint(*last_ck)) {
         result.status = SolverStatus::kInterrupted;
         break;
       }
     }
+  }
+  // Early-stopped solves carry their resume handle: interrupt -> resume
+  // round-trips without the caller wiring its own on_checkpoint, and a
+  // deadline-expired request re-submitted with the checkpoint warm-resumes
+  // at the last completed round instead of restarting.
+  if (result.status != SolverStatus::kComplete) {
+    result.checkpoint = std::move(last_ck);
   }
   result.value = inc.value;
   result.b_matching = std::move(inc.best);
@@ -285,9 +335,14 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
   // budget (a break leaves the staged lambda fresh). A degraded solve
   // evaluates it on the state directly — same retained order, exact min,
   // so bitwise-equal to the substrate sweep — because the substrate's
-  // faulty pass may simply fail again. ----
-  if (!lambda_fresh) {
-    if (result.status == SolverStatus::kDegraded) {
+  // faulty pass may simply fail again. A deadline/cancel stop does the
+  // same: the substrate's polls would abort the sweep again, and the
+  // anytime contract wants the certificate NOW, on the state as it
+  // stands. ----
+  const bool stopped = result.status == SolverStatus::kDeadline ||
+                       result.status == SolverStatus::kCancelled;
+  if (!lambda_fresh || stopped) {
+    if (result.status == SolverStatus::kDegraded || stopped) {
       result.lambda = state.lambda(lg, pool, popt.grain);
     } else {
       try {

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "matching/approx.hpp"
 #include "matching/matching.hpp"
 #include "util/accounting.hpp"
+#include "util/cancel.hpp"
 #include "util/fault.hpp"
 
 namespace dp::access {
@@ -61,6 +63,14 @@ enum class SolverStatus {
   kDegraded,
   /// An on_checkpoint callback returned false after a completed round.
   kInterrupted,
+  /// The wall-clock deadline (SolverOptions::deadline) expired at a safe
+  /// point. The result is ANYTIME: the best primal found so far with an
+  /// exactly certified ratio, plus the last completed round's checkpoint
+  /// (SolverResult::checkpoint) so a re-submitted solve warm-resumes.
+  kDeadline,
+  /// SolverOptions::cancel was cancelled at a safe point. Same anytime
+  /// guarantees as kDeadline.
+  kCancelled,
 };
 
 struct SolverOptions {
@@ -111,6 +121,15 @@ struct SolverOptions {
   /// dual iterate, incumbent, history and meters, then continues at
   /// next_round.
   const RoundCheckpoint* resume_from = nullptr;
+  /// Cooperative cancellation (util/cancel): polled at the round-loop top,
+  /// at pipeline stage boundaries, between inner MW iterations and between
+  /// EdgeStream pass chunks. Unarmed by default. Cancelling returns the
+  /// anytime result (SolverStatus::kCancelled).
+  CancelToken cancel;
+  /// Wall-clock budget on a Clock (unarmed by default); polled at the same
+  /// safe points. Expiry returns the anytime result (kDeadline). Use a
+  /// FakeClock to make deadline behaviour deterministic in tests.
+  Deadline deadline;
 };
 
 struct RoundStats {
@@ -140,11 +159,20 @@ struct SolverResult {
   std::size_t oracle_calls = 0;
   ResourceMeter meter;
   std::vector<RoundStats> history;
-  /// How the solve ended (kDegraded/kInterrupted results still carry a
-  /// rigorous dual_bound and certified_ratio for the value returned).
+  /// How the solve ended (kDegraded/kInterrupted/kDeadline/kCancelled
+  /// results still carry a rigorous dual_bound and certified_ratio for the
+  /// value returned).
   SolverStatus status = SolverStatus::kComplete;
   /// For kDegraded: the exhausted fault's message (site/round/attempt).
   std::string fault_detail;
+  /// The last completed round's checkpoint whenever the solve stopped
+  /// early (kInterrupted/kDeadline/kCancelled/kDegraded) and at least one
+  /// round finished with checkpointing active — checkpoints are built per
+  /// round when on_checkpoint is set OR a cancel token / deadline is
+  /// armed. Resume via Solver::solve(*checkpoint) continues the solve
+  /// bitwise-identically; null when the solve ran to completion (or
+  /// stopped before round 1).
+  std::shared_ptr<const RoundCheckpoint> checkpoint;
 };
 
 class Solver {

@@ -1,0 +1,102 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace dp::serve {
+
+double zipfian_zeta(std::uint64_t n, double theta) {
+  // Cache per theta: the largest prefix sum computed so far, extended
+  // incrementally when n grows (the YCSB trick — zeta is the only O(n)
+  // part of the generator). A smaller n recomputes fresh without touching
+  // the cached prefix.
+  struct Prefix {
+    std::uint64_t n = 0;
+    double zeta = 0;
+  };
+  static std::mutex mu;
+  static std::map<std::uint64_t, Prefix> cache;
+
+  std::lock_guard<std::mutex> lock(mu);
+  Prefix& p = cache[std::bit_cast<std::uint64_t>(theta)];
+  if (n < p.n) {
+    double z = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return z;
+  }
+  for (std::uint64_t i = p.n + 1; i <= n; ++i) {
+    p.zeta += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  p.n = n;
+  return p.zeta;
+}
+
+ZipfianChooser::ZipfianChooser(std::uint64_t n, double theta)
+    : n_(n == 0 ? 1 : n), theta_(theta) {
+  zetan_ = zipfian_zeta(n_, theta_);
+  const double zeta2 = zipfian_zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  half_pow_theta_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::uint64_t ZipfianChooser::pick(double u) const noexcept {
+  // Gray et al.'s quick transformation, as in YCSB's ZipfianGenerator.
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < half_pow_theta_) return std::min<std::uint64_t>(1, n_ - 1);
+  const double r = static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  const auto rank = static_cast<std::uint64_t>(r);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+WorkloadGen::WorkloadGen(std::uint64_t seed, const Graph& g, WorkloadMix mix,
+                         double theta)
+    : g_(&g),
+      rng_(seed),
+      mix_(mix),
+      zipf_(g.num_vertices(), theta),
+      vertex_salt_(rng_.bits(0x5a17)) {
+  const double total = mix_.solve + mix_.probe_edge + mix_.probe_ratio;
+  if (total > 0) {
+    mix_.solve /= total;
+    mix_.probe_edge /= total;
+    mix_.probe_ratio /= total;
+  }
+  // Touch the adjacency once so concurrent clients never race the lazy
+  // CSR build.
+  if (g.num_vertices() > 0) (void)g.neighbors(0);
+}
+
+OpKind WorkloadGen::kind(std::uint64_t client, std::uint64_t op) const noexcept {
+  const double u = rng_.uniform_real(client, op, 0);
+  if (u < mix_.solve) return OpKind::kSolve;
+  if (u < mix_.solve + mix_.probe_edge) return OpKind::kProbeEdge;
+  return OpKind::kProbeRatio;
+}
+
+Vertex WorkloadGen::vertex(std::uint64_t client, std::uint64_t op) const noexcept {
+  const std::uint64_t n = g_->num_vertices();
+  if (n == 0) return 0;
+  const std::uint64_t rank = zipf_.pick(rng_.uniform_real(client, op, 1));
+  // Seeded rotation: a bijection on [0, n) that decouples popularity rank
+  // from vertex numbering.
+  return static_cast<Vertex>((rank + vertex_salt_ % n) % n);
+}
+
+Vertex WorkloadGen::neighbor_of(Vertex u, std::uint64_t client,
+                                std::uint64_t op) const noexcept {
+  const auto inc = g_->neighbors(u);
+  if (inc.empty()) return kNoNeighbor;
+  const std::uint64_t idx = rng_.bits(client, op, 2) % inc.size();
+  return inc[idx].neighbor;
+}
+
+}  // namespace dp::serve

@@ -1,0 +1,95 @@
+#pragma once
+// YCSB-style workload generation for the matching service.
+//
+// Serving benchmarks need *skewed, reproducible* request streams: real
+// query mixes concentrate on popular vertices, and the bench must replay
+// the identical stream across worker counts so latency comparisons are
+// apples-to-apples. Two pieces:
+//
+//  - ZipfianChooser: the YCSB zipfian generator (Gray et al.'s
+//    transformation) over ranks [0, n), with the harmonic normalizer
+//    zeta(n, theta) memoized per theta behind a mutex — extending an
+//    existing prefix sum instead of recomputing when n grows, the standard
+//    YCSB cache trick.
+//  - WorkloadGen: a PURE request stream. Operation kind, popular vertex
+//    and probed incident edge for (client, op) are counter-based functions
+//    of the seed (util/rng's CounterRng), so any client thread can
+//    generate its own slice of the stream in any order and the aggregate
+//    workload is bitwise reproducible.
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace dp::serve {
+
+/// Harmonic normalizer zeta(n, theta) = sum_{i=1..n} 1/i^theta, memoized
+/// per theta (prefix-extended when n grows). Thread-safe.
+double zipfian_zeta(std::uint64_t n, double theta);
+
+/// YCSB zipfian generator over ranks [0, n): rank 0 is the most popular.
+/// pick() is a pure function of the uniform input, so the chooser is
+/// immutable after construction and safe to share across threads.
+class ZipfianChooser {
+ public:
+  ZipfianChooser(std::uint64_t n, double theta = 0.99);
+
+  std::uint64_t size() const noexcept { return n_; }
+
+  /// Rank for a uniform draw u in [0, 1).
+  std::uint64_t pick(double u) const noexcept;
+
+ private:
+  std::uint64_t n_ = 1;
+  double theta_ = 0;
+  double alpha_ = 0;
+  double zetan_ = 0;
+  double eta_ = 0;
+  double half_pow_theta_ = 0;
+};
+
+/// One generated operation.
+enum class OpKind : std::uint8_t { kSolve, kProbeEdge, kProbeRatio };
+
+/// Operation mix (fractions; normalized at use).
+struct WorkloadMix {
+  double solve = 0.05;
+  double probe_edge = 0.65;
+  double probe_ratio = 0.30;
+};
+
+/// Sentinel for "popular vertex has no incident edge" (degree-0 probe —
+/// the service answers it as a miss).
+inline constexpr Vertex kNoNeighbor = ~Vertex{0};
+
+/// The pure request stream over a fixed graph.
+class WorkloadGen {
+ public:
+  /// `g` must outlive the generator (adjacency is built eagerly so later
+  /// concurrent reads never race the lazy build).
+  WorkloadGen(std::uint64_t seed, const Graph& g, WorkloadMix mix,
+              double theta = 0.99);
+
+  /// Operation kind for (client, op).
+  OpKind kind(std::uint64_t client, std::uint64_t op) const noexcept;
+
+  /// Zipfian-popular vertex for (client, op). The popularity rank is
+  /// scrambled into a vertex id by a fixed seeded bijection so the hot set
+  /// is not just the lowest-numbered vertices.
+  Vertex vertex(std::uint64_t client, std::uint64_t op) const noexcept;
+
+  /// A uniformly random incident edge's other endpoint at `u`, or
+  /// kNoNeighbor when u has degree 0.
+  Vertex neighbor_of(Vertex u, std::uint64_t client,
+                     std::uint64_t op) const noexcept;
+
+ private:
+  const Graph* g_;
+  CounterRng rng_;
+  WorkloadMix mix_;  // normalized
+  ZipfianChooser zipf_;
+  std::uint64_t vertex_salt_ = 0;
+};
+
+}  // namespace dp::serve

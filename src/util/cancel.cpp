@@ -1,0 +1,31 @@
+#include "util/cancel.hpp"
+
+#include <string>
+#include <utility>
+
+namespace dp {
+
+const char* stop_reason_name(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kDeadline:
+      return "deadline";
+  }
+  return "unknown";
+}
+
+void StopCheck::throw_if_stopped(const char* site) const {
+  const StopReason reason = poll();
+  if (reason == StopReason::kNone) return;
+  throw SolveAborted(reason, {site});
+}
+
+SolveAborted::SolveAborted(StopReason reason, ErrorContext context)
+    : SolverError(std::string("solve stopped: ") + stop_reason_name(reason),
+                  std::move(context)),
+      reason_(reason) {}
+
+}  // namespace dp

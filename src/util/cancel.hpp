@@ -1,0 +1,133 @@
+#pragma once
+// Cooperative cancellation and deadlines — the anytime-solving contract.
+//
+// A solve under a wall-clock budget must stop at a SAFE point and still
+// return something rigorous: the best-so-far primal with an exactly
+// certified ratio, plus the last completed round's checkpoint so a
+// re-submitted request warm-resumes instead of restarting. The primitives:
+//
+//  - CancelToken: a copyable handle to a shared cancellation flag. Anyone
+//    holding a copy may cancel(); pollers see it at the next safe point.
+//    Default-constructed tokens are unarmed (never cancel, poll for free).
+//  - Deadline: an absolute instant on a Clock (util/clock), so deadline
+//    tests run on scripted time instead of real sleeps.
+//  - StopCheck: the combined poll the solver threads through the round
+//    pipeline and the access substrates. Polls are cheap (one relaxed
+//    atomic load; one clock query when a deadline is armed) and safe from
+//    any thread.
+//
+// Safe points are where no partially-applied state mutation can leak: the
+// solver's round-loop top, the pipeline's stage boundaries and per-inner-
+// iteration boundaries, and the streaming substrate's pass chunks (the
+// sweep only fills pure per-index buffers, so abandoning a pass loses no
+// state). Stopping raises SolveAborted, which the solver converts into an
+// anytime SolverResult (SolverStatus::kDeadline / kCancelled) — it is a
+// control-flow signal, not an error the caller ever sees.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace dp {
+
+/// Why a StopCheck fired.
+enum class StopReason : std::uint8_t { kNone = 0, kCancelled, kDeadline };
+
+const char* stop_reason_name(StopReason reason) noexcept;
+
+/// Copyable handle to a shared cancellation flag. A default-constructed
+/// token is unarmed: it can never be cancelled and polls as false forever.
+/// Armed tokens (CancelToken::make()) share one flag across all copies.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// A fresh armed token (its copies share the flag).
+  static CancelToken make() {
+    CancelToken t;
+    t.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return t;
+  }
+
+  bool armed() const noexcept { return flag_ != nullptr; }
+
+  /// Request cancellation; idempotent, safe from any thread. No-op on an
+  /// unarmed token.
+  void cancel() const noexcept {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const noexcept {
+    return flag_ != nullptr && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// An absolute instant on a Clock. Default-constructed deadlines are
+/// unarmed (never expire).
+struct Deadline {
+  const Clock* clock = nullptr;  // nullptr = unarmed
+  std::uint64_t at_us = 0;       // absolute, in clock->now_us() time
+
+  /// The instant `budget_us` from now on `clock`. The clock must outlive
+  /// every poll.
+  static Deadline after(const Clock& clock, std::uint64_t budget_us) noexcept {
+    return Deadline{&clock, clock.now_us() + budget_us};
+  }
+
+  bool armed() const noexcept { return clock != nullptr; }
+
+  bool expired() const noexcept {
+    return clock != nullptr && clock->now_us() >= at_us;
+  }
+};
+
+/// The combined cancellation/deadline poll. Copyable; polls are cheap and
+/// thread-safe. An unarmed StopCheck (no token, no deadline) is the
+/// default everywhere and polls as kNone at zero cost.
+class StopCheck {
+ public:
+  StopCheck() = default;
+  StopCheck(CancelToken token, Deadline deadline) noexcept
+      : token_(std::move(token)), deadline_(deadline) {}
+
+  bool armed() const noexcept {
+    return token_.armed() || deadline_.armed();
+  }
+
+  /// Cancellation outranks the deadline: an explicitly cancelled request
+  /// reports kCancelled even if its deadline also lapsed.
+  StopReason poll() const noexcept {
+    if (token_.cancelled()) return StopReason::kCancelled;
+    if (deadline_.expired()) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+
+  /// Poll and raise SolveAborted at a safe point. `site` labels where the
+  /// stop was observed (ErrorContext::site).
+  void throw_if_stopped(const char* site) const;
+
+ private:
+  CancelToken token_;
+  Deadline deadline_;
+};
+
+/// Control-flow signal raised at a safe point when a StopCheck fires. The
+/// solver converts it into an anytime SolverResult (kDeadline/kCancelled);
+/// it escapes to callers only from code running outside a solve.
+class SolveAborted : public SolverError {
+ public:
+  SolveAborted(StopReason reason, ErrorContext context);
+
+  StopReason reason() const noexcept { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+}  // namespace dp

@@ -1,0 +1,25 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace dp {
+
+std::uint64_t SteadyClock::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SteadyClock::sleep_us(std::uint64_t us) const {
+  if (us == 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+const Clock& steady_clock() noexcept {
+  static const SteadyClock clock;
+  return clock;
+}
+
+}  // namespace dp

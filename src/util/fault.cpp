@@ -1,8 +1,6 @@
 #include "util/fault.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
 
 namespace dp {
 
@@ -104,7 +102,7 @@ void RetryPolicy::backoff(const FaultInjector& injector, FaultSite site,
                           std::uint64_t attempt) const {
   const std::uint64_t us = delay_us(injector, site, a, b, attempt);
   if (us == 0) return;
-  std::this_thread::sleep_for(std::chrono::microseconds(us));
+  (clock != nullptr ? *clock : steady_clock()).sleep_us(us);
 }
 
 }  // namespace dp

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/clock.hpp"
 #include "util/rng.hpp"
 
 namespace dp {
@@ -124,6 +125,10 @@ struct RetryPolicy {
   double backoff_jitter = 0.25;
   /// Upper clamp on a single delay.
   std::uint64_t backoff_cap_us = 100000;
+  /// Clock the backoff sleeps on (util/clock); nullptr = the process
+  /// steady clock. Tests install a FakeClock so even non-zero backoff
+  /// schedules run on scripted time instead of real sleeps.
+  const Clock* clock = nullptr;
 
   /// The deterministic delay before re-running (site, a, b) after failed
   /// attempt `attempt`.

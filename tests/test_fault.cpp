@@ -169,6 +169,36 @@ TEST(RetryPolicy, BackoffIsDeterministicBoundedAndOptional) {
   EXPECT_EQ(policy.delay_us(inj, FaultSite::kStreamPass, 3, 0, 12), 1000u);
 }
 
+TEST(RetryPolicy, BackoffSleepsOnTheInstalledClock) {
+  // The backoff rides the Clock seam (util/clock): tests install a
+  // FakeClock and the whole schedule runs on scripted time — zero real
+  // sleeping, and the slept total equals the deterministic delays exactly.
+  FaultConfig config;
+  config.stream_pass_rate = 1.0;
+  const FaultInjector inj(config);
+
+  FakeClock clock;
+  RetryPolicy policy;
+  policy.backoff_base_us = 200;
+  policy.backoff_cap_us = 10000;
+  policy.clock = &clock;
+
+  std::uint64_t expected = 0;
+  for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+    expected += policy.delay_us(inj, FaultSite::kStreamPass, 5, 1, attempt);
+    policy.backoff(inj, FaultSite::kStreamPass, 5, 1, attempt);
+  }
+  EXPECT_GT(expected, 0u);
+  EXPECT_EQ(clock.total_slept_us(), expected);
+  EXPECT_EQ(clock.now_us(), expected);
+
+  // Base 0 still sleeps nothing regardless of the clock.
+  RetryPolicy quiet;
+  quiet.clock = &clock;
+  quiet.backoff(inj, FaultSite::kStreamPass, 5, 1, 0);
+  EXPECT_EQ(clock.total_slept_us(), expected);
+}
+
 // ---------------------------------------------------------------------------
 // Typed error hierarchy.
 

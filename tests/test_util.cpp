@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "util/accounting.hpp"
+#include "util/cancel.hpp"
+#include "util/clock.hpp"
 #include "util/hash.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
@@ -336,6 +338,96 @@ TEST(ThreadPool, BatchSweepsDoNotJoinPendingJobs) {
   EXPECT_EQ(hits.load(), 100u);
   release = true;
   EXPECT_EQ(job.get(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// Clock seam (util/clock) and cooperative stop (util/cancel).
+
+TEST(Clock, SteadyClockAdvancesMonotonically) {
+  const Clock& clock = steady_clock();
+  const std::uint64_t a = clock.now_us();
+  const std::uint64_t b = clock.now_us();
+  EXPECT_GE(b, a);
+  clock.sleep_us(1000);
+  EXPECT_GE(clock.now_us(), a + 1000);
+}
+
+TEST(Clock, FakeClockIsScripted) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.now_us(), 100u);
+  clock.advance_us(50);
+  EXPECT_EQ(clock.now_us(), 150u);
+  clock.set_us(10);
+  EXPECT_EQ(clock.now_us(), 10u);
+
+  // sleep advances scripted time and logs the total, without blocking.
+  clock.sleep_us(500);
+  EXPECT_EQ(clock.now_us(), 510u);
+  clock.sleep_us(250);
+  EXPECT_EQ(clock.total_slept_us(), 750u);
+
+  // Auto-advance: every query ticks time forward deterministically.
+  clock.set_us(0);
+  clock.auto_advance_us(7);
+  EXPECT_EQ(clock.now_us(), 7u);
+  EXPECT_EQ(clock.now_us(), 14u);
+  clock.auto_advance_us(0);
+  EXPECT_EQ(clock.now_us(), 14u);
+}
+
+TEST(Cancel, TokenSharesOneFlagAcrossCopies) {
+  const CancelToken unarmed;
+  EXPECT_FALSE(unarmed.armed());
+  EXPECT_FALSE(unarmed.cancelled());
+  unarmed.cancel();  // no-op, no crash
+  EXPECT_FALSE(unarmed.cancelled());
+
+  const CancelToken token = CancelToken::make();
+  const CancelToken copy = token;
+  EXPECT_TRUE(token.armed());
+  EXPECT_FALSE(copy.cancelled());
+  token.cancel();
+  EXPECT_TRUE(copy.cancelled());
+}
+
+TEST(Cancel, DeadlineExpiresOnItsClock) {
+  FakeClock clock(1000);
+  const Deadline unarmed;
+  EXPECT_FALSE(unarmed.armed());
+  EXPECT_FALSE(unarmed.expired());
+
+  const Deadline d = Deadline::after(clock, 500);
+  EXPECT_TRUE(d.armed());
+  EXPECT_FALSE(d.expired());
+  clock.advance_us(499);
+  EXPECT_FALSE(d.expired());
+  clock.advance_us(1);
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(Cancel, StopCheckRanksCancellationOverDeadline) {
+  FakeClock clock;
+  const CancelToken token = CancelToken::make();
+  const StopCheck stop(token, Deadline::after(clock, 10));
+  EXPECT_TRUE(stop.armed());
+  EXPECT_EQ(stop.poll(), StopReason::kNone);
+  clock.advance_us(20);
+  EXPECT_EQ(stop.poll(), StopReason::kDeadline);
+  token.cancel();
+  EXPECT_EQ(stop.poll(), StopReason::kCancelled);
+
+  const StopCheck idle;
+  EXPECT_FALSE(idle.armed());
+  EXPECT_EQ(idle.poll(), StopReason::kNone);
+  idle.throw_if_stopped("test");  // unarmed: never throws
+
+  try {
+    stop.throw_if_stopped("test.site");
+    FAIL() << "expected SolveAborted";
+  } catch (const SolveAborted& aborted) {
+    EXPECT_EQ(aborted.reason(), StopReason::kCancelled);
+    EXPECT_NE(std::string(aborted.what()).find("cancel"), std::string::npos);
+  }
 }
 
 }  // namespace
