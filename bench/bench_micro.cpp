@@ -11,6 +11,7 @@
 // shrinks n and the rep counts so scripts/check.sh stays fast).
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -21,8 +22,11 @@
 #include "core/dual_state.hpp"
 #include "core/oracle.hpp"
 #include "core/oracle_ref.hpp"
+#include "graph/flow_arena.hpp"
 #include "graph/generators.hpp"
+#include "graph/gomory_hu.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -90,6 +94,200 @@ Measurement time_lagrangian(const Oracle& oracle, const Workload& w,
   }
   m.seconds = timer.seconds();
   return m;
+}
+
+/// Isolated hot-kernel rows (BENCH_micro_kernels.json): each row pits the
+/// baseline kernel against the optimized one in the same binary on the same
+/// buffers, so the tracked speedup is machine-relative. Kernel ids:
+/// 0 = exp batch (libm loop vs branch-free polynomial), 1 = one SweepKernel
+/// multiplier sweep (scalar libm body vs fill/exp_batch_poly/divide),
+/// 2 = post-contraction Gomory-Hu (full Gusfield rebuild vs incremental
+/// stamped replay).
+void bench_kernels(bool quick) {
+  bench::header("micro kernels (hot-path round 2)",
+                "isolated kernel speedups: vectorized exp batch, SIMD-ized "
+                "multiplier sweep, incremental Gusfield after contraction");
+  bench::BenchReport report("micro_kernels",
+                            {"kernel", "n", "reps", "base_per_sec",
+                             "fast_per_sec", "speedup"});
+  std::printf("%-10s %-9s %-6s %16s %16s %9s\n", "kernel", "n", "reps",
+              "base/s", "fast/s", "speedup");
+  Rng rng(4242);
+  double sink = 0;  // defeats dead-code elimination across timed loops
+
+  // ---- Kernel 0: the exp batch itself, elements/sec. ----
+  {
+    const std::size_t n = quick ? (1u << 14) : (1u << 18);
+    const std::size_t reps = quick ? 400 : 60;
+    std::vector<double> x(n);
+    std::vector<double> out(n);
+    for (double& v : x) v = -40.0 * rng.uniform_real();  // sweep-range args
+    // Untimed warmup: faults the buffers in and resolves the kernel's
+    // runtime ISA dispatch so neither cost lands inside a timed loop.
+    simd::exp_batch_libm(x.data(), out.data(), n);
+    simd::exp_batch_poly(x.data(), out.data(), n);
+    WallTimer t_libm;
+    for (std::size_t r = 0; r < reps; ++r) {
+      simd::exp_batch_libm(x.data(), out.data(), n);
+      sink += out[r % n];
+    }
+    const double libm_s = t_libm.seconds();
+    WallTimer t_poly;
+    for (std::size_t r = 0; r < reps; ++r) {
+      simd::exp_batch_poly(x.data(), out.data(), n);
+      sink += out[r % n];
+    }
+    const double poly_s = t_poly.seconds();
+    const double total = static_cast<double>(n) * static_cast<double>(reps);
+    const double base_rate = total / libm_s;
+    const double fast_rate = total / poly_s;
+    std::printf("%-10s %-9zu %-6zu %16.3e %16.3e %8.2fx\n", "exp_batch", n,
+                reps, base_rate, fast_rate, fast_rate / base_rate);
+    report.add({0.0, static_cast<double>(n), static_cast<double>(reps),
+                base_rate, fast_rate, fast_rate / base_rate});
+  }
+
+  // ---- Kernel 1: one multiplier sweep (the exp_floor_multipliers body):
+  // exp(-alpha (ratio - min)) / w, elements/sec. Both variants run the
+  // pipeline's real chunked structure (run_chunks grain), so the
+  // vectorized side's fill/exp/divide passes stay L1-resident instead of
+  // streaming the whole array three times. ----
+  {
+    const std::size_t n = quick ? (1u << 14) : (1u << 18);
+    const std::size_t reps = quick ? 400 : 60;
+    const std::size_t grain = 1024;  // RoundPipelineOptions::grain
+    const double alpha = 7.5;
+    std::vector<double> ratio(n);
+    std::vector<double> w(n);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ratio[i] = 5.0 * rng.uniform_real();
+      w[i] = 1.0 + 3.0 * rng.uniform_real();
+    }
+    simd::exp_batch_poly(ratio.data(), out.data(), n);  // untimed warmup
+    WallTimer t_scalar;
+    for (std::size_t r = 0; r < reps; ++r) {
+      double local_max = 0;
+      for (std::size_t lo = 0; lo < n; lo += grain) {
+        const std::size_t hi = std::min(n, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] = std::exp(-alpha * ratio[i]) / w[i];
+          local_max = std::max(local_max, out[i]);
+        }
+      }
+      sink += local_max;
+    }
+    const double scalar_s = t_scalar.seconds();
+    WallTimer t_vec;
+    for (std::size_t r = 0; r < reps; ++r) {
+      double local_max = 0;
+      for (std::size_t lo = 0; lo < n; lo += grain) {
+        const std::size_t hi = std::min(n, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) out[i] = -alpha * ratio[i];
+        simd::exp_batch_poly(out.data() + lo, out.data() + lo, hi - lo);
+        for (std::size_t i = lo; i < hi; ++i) {
+          out[i] /= w[i];
+          local_max = std::max(local_max, out[i]);
+        }
+      }
+      sink += local_max;
+    }
+    const double vec_s = t_vec.seconds();
+    const double total = static_cast<double>(n) * static_cast<double>(reps);
+    const double base_rate = total / scalar_s;
+    const double fast_rate = total / vec_s;
+    std::printf("%-10s %-9zu %-6zu %16.3e %16.3e %8.2fx\n", "sweep", n,
+                reps, base_rate, fast_rate, fast_rate / base_rate);
+    report.add({1.0, static_cast<double>(n), static_cast<double>(reps),
+                base_rate, fast_rate, fast_rate / base_rate});
+  }
+
+  // ---- Kernel 2: Gomory-Hu after one separator-style contraction —
+  // full Gusfield rebuild vs the incremental stamped replay, updates/sec.
+  // Same arena state for both; the incremental side restores the
+  // pre-contraction tree/stamp each rep so every rep replays the delta. ----
+  {
+    const std::size_t n = quick ? 160 : 400;
+    const auto s = static_cast<std::uint32_t>(n - 1);
+    std::vector<ArenaEdge> edges;
+    for (std::uint32_t v = 0; v < s; ++v) {
+      edges.push_back(
+          ArenaEdge{v, s, static_cast<std::int64_t>(1 + rng.uniform(4))});
+    }
+    for (std::size_t e = 0; e < 5 * n; ++e) {
+      const auto u = static_cast<std::uint32_t>(rng.uniform(s));
+      const auto v = static_cast<std::uint32_t>(rng.uniform(s));
+      if (u == v) continue;
+      edges.push_back(ArenaEdge{std::min(u, v), std::max(u, v),
+                                static_cast<std::int64_t>(1 + rng.uniform(6))});
+    }
+    aggregate_parallel_edges(edges);
+    FlowArena net;
+    net.build(n, edges);
+    std::vector<char> alive(n, 1);
+    GomoryHuTree tree0;
+    GomoryHuStamp stamp0;
+    gomory_hu_from_arena_cached(net, &alive, tree0, stamp0);
+    // One contraction round: kill ~n/16 vertices, exact compensation (all
+    // caps land on positive s-edges, so nothing clamps).
+    GomoryHuContraction delta;
+    delta.s_node = s;
+    std::vector<char> dead(n, 0);
+    for (std::uint32_t v = 1; v < s; ++v) {
+      if (rng.uniform(16) == 0) dead[v] = 1;
+    }
+    std::vector<std::size_t> s_edge(n, 0);
+    std::vector<std::int64_t> s_cap(n, 0);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].v == s) {
+        s_edge[edges[e].u] = e;
+        s_cap[edges[e].u] = edges[e].cap;
+      }
+    }
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].u == s || edges[e].v == s) continue;
+      if (dead[edges[e].u] == dead[edges[e].v]) continue;
+      const std::uint32_t keep = dead[edges[e].u] ? edges[e].v : edges[e].u;
+      s_cap[keep] += edges[e].cap;
+      net.set_edge_base_cap(s_edge[keep], s_cap[keep]);
+    }
+    for (std::uint32_t v = 0; v < s; ++v) {
+      if (!dead[v]) continue;
+      net.disable_vertex(v);
+      alive[v] = 0;
+      delta.contracted.push_back(v);
+    }
+    const std::size_t reps = quick ? 5 : 5;
+    GomoryHuTree tree;
+    gomory_hu_from_arena(net, &alive, tree);  // untimed warmup
+    WallTimer t_full;
+    for (std::size_t r = 0; r < reps; ++r) {
+      gomory_hu_from_arena(net, &alive, tree);
+      sink += static_cast<double>(tree.cut_value[1]);
+    }
+    const double full_s = t_full.seconds();
+    GomoryHuStamp stamp;
+    std::size_t flows_incremental = 0;
+    WallTimer t_incr;
+    for (std::size_t r = 0; r < reps; ++r) {
+      tree = tree0;
+      stamp = stamp0;
+      flows_incremental =
+          gomory_hu_contract_update(net, &alive, delta, tree, stamp);
+      sink += static_cast<double>(tree.cut_value[1]);
+    }
+    const double incr_s = t_incr.seconds();
+    const double base_rate = static_cast<double>(reps) / full_s;
+    const double fast_rate = static_cast<double>(reps) / incr_s;
+    std::printf("%-10s %-9zu %-6zu %16.3e %16.3e %8.2fx  (flows %zu -> %zu)\n",
+                "gusfield", n, reps, base_rate, fast_rate,
+                fast_rate / base_rate, n - 1 - delta.contracted.size(),
+                flows_incremental);
+    report.add({2.0, static_cast<double>(n), static_cast<double>(reps),
+                base_rate, fast_rate, fast_rate / base_rate});
+  }
+  if (sink == 12345.6789) std::printf("sink %f\n", sink);
+  std::printf("\n");
 }
 
 }  // namespace
@@ -181,5 +379,6 @@ int main(int argc, char** argv) {
     }
   }
   report.flush();
+  bench_kernels(quick);
   return 0;
 }

@@ -42,15 +42,19 @@ int main() {
     struct Run {
       std::size_t threads;
       bool overlap;
+      bool cross_round;
     };
-    const Run runs[] = {{1, false}, {1, true}, {2, true}, {8, true},
-                        {8, false}};
-    double ratio[5];
-    std::vector<std::size_t> stored[5];
+    const Run runs[] = {{1, false, false}, {1, true, false},
+                        {1, true, true},   {2, true, true},
+                        {8, true, true},   {8, true, false},
+                        {8, false, false}};
+    double ratio[7];
+    std::vector<std::size_t> stored[7];
     std::size_t slot = 0;
     for (const Run& run : runs) {
       opts.oracle.threads = run.threads;
       opts.pipeline_overlap = run.overlap;
+      opts.pipeline_cross_round = run.cross_round;
       const auto result = core::solve_matching(g, opts);
       ratio[slot] = result.certified_ratio;
       for (const auto& rs : result.history) {
@@ -61,7 +65,8 @@ int main() {
     for (std::size_t s = 1; s < slot; ++s) {
       if (ratio[0] != ratio[s]) {
         std::fprintf(stderr,
-                     "FATAL: certified ratio varies with threads/overlap "
+                     "FATAL: certified ratio varies with threads/overlap/"
+                     "cross-round "
                      "(run %zu: %.17g vs %.17g)\n",
                      s, ratio[0], ratio[s]);
         return 1;
@@ -69,12 +74,13 @@ int main() {
       if (stored[0] != stored[s]) {
         std::fprintf(stderr,
                      "FATAL: per-round stored-edge counts vary with "
-                     "threads/overlap (run %zu)\n", s);
+                     "threads/overlap/cross-round (run %zu)\n", s);
         return 1;
       }
     }
     std::printf("determinism: certified ratio and stored-edge counts "
-                "bitwise stable for 1/2/8 threads and pipeline on/off "
+                "bitwise stable for 1/2/8 threads, pipeline on/off and "
+                "cross-round deferral on/off "
                 "(%.6f)\n\n", ratio[0]);
   }
 

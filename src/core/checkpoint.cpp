@@ -114,6 +114,11 @@ void put_meter(std::vector<std::uint8_t>& out, const MeterSnapshot& ms) {
   put_u64(out, ms.inner_iterations);
   put_u64(out, ms.oracle_calls);
   put_u64(out, ms.faults);
+  put_u64(out, ms.max_flows);
+  put_u64(out, ms.max_flows_saved);
+  put_u64(out, ms.gh_full_builds);
+  put_u64(out, ms.gh_incremental);
+  put_u64(out, ms.gh_tree_reuses);
 }
 
 MeterSnapshot get_meter(Reader& in) {
@@ -127,6 +132,11 @@ MeterSnapshot get_meter(Reader& in) {
   ms.inner_iterations = in.u64();
   ms.oracle_calls = in.u64();
   ms.faults = in.u64();
+  ms.max_flows = in.u64();
+  ms.max_flows_saved = in.u64();
+  ms.gh_full_builds = in.u64();
+  ms.gh_incremental = in.u64();
+  ms.gh_tree_reuses = in.u64();
   return ms;
 }
 
@@ -143,6 +153,11 @@ MeterSnapshot MeterSnapshot::of(const ResourceMeter& meter) {
   ms.inner_iterations = meter.inner_iterations();
   ms.oracle_calls = meter.oracle_calls();
   ms.faults = meter.faults();
+  ms.max_flows = meter.max_flows();
+  ms.max_flows_saved = meter.max_flows_saved();
+  ms.gh_full_builds = meter.gh_full_builds();
+  ms.gh_incremental = meter.gh_incremental();
+  ms.gh_tree_reuses = meter.gh_tree_reuses();
   return ms;
 }
 
@@ -155,6 +170,11 @@ void MeterSnapshot::restore_into(ResourceMeter& meter) const {
   meter.add_inner_iterations(inner_iterations);
   meter.add_oracle_calls(oracle_calls);
   meter.add_faults(faults);
+  meter.add_max_flows(max_flows);
+  meter.add_max_flows_saved(max_flows_saved);
+  meter.add_gh_full_builds(gh_full_builds);
+  meter.add_gh_incremental(gh_incremental);
+  meter.add_gh_tree_reuses(gh_tree_reuses);
   // Reconstruct (running stored, peak) exactly: raise to the peak, then
   // release back down to the running count.
   meter.store_edges(peak_edges);
@@ -174,7 +194,7 @@ std::vector<std::uint8_t> RoundCheckpoint::serialize() const {
   out.reserve(kHeaderSize + 68 + 24 + 24 + best_support.size() * 16 + 16 +
               xik.size() * 16 + 8 + xi.size() * 8 + 8 +
               odd_sets.size() * 20 + member_bytes + 8 + history.size() * 48 +
-              2 * 72);
+              2 * 112);
   for (const std::uint8_t b : kMagic) out.push_back(b);
   put_u32(out, kVersion);
   put_u64(out, 0);  // payload size, patched below

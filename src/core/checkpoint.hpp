@@ -43,13 +43,20 @@ struct MeterSnapshot {
   std::uint64_t inner_iterations = 0;
   std::uint64_t oracle_calls = 0;
   std::uint64_t faults = 0;
+  std::uint64_t max_flows = 0;
+  std::uint64_t max_flows_saved = 0;
+  std::uint64_t gh_full_builds = 0;
+  std::uint64_t gh_incremental = 0;
+  std::uint64_t gh_tree_reuses = 0;
 
   static MeterSnapshot of(const ResourceMeter& meter);
   void restore_into(ResourceMeter& meter) const;
 };
 
 struct RoundCheckpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  // v2: MeterSnapshot grew the separation flow-work counters (max_flows,
+  // max_flows_saved, gh_full_builds, gh_incremental, gh_tree_reuses).
+  static constexpr std::uint32_t kVersion = 2;
 
   // -- Identity: the solve configuration this checkpoint belongs to. --
   std::uint64_t solver_seed = 0;

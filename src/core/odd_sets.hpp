@@ -34,6 +34,19 @@ struct OddSetQueryEdge {
   double q;
 };
 
+/// Monotone counters for the exact separation path's Gomory-Hu / max-flow
+/// work (Lemma 25): flows actually run, flows skipped by the incremental
+/// per-subtree reuse after contraction, and how each tree (re)build ran.
+/// Summed across the oracle's per-level separation engines in fixed job
+/// order, so totals are identical for any thread count.
+struct SeparationStats {
+  std::uint64_t max_flows = 0;
+  std::uint64_t flows_saved = 0;
+  std::uint64_t gh_full_builds = 0;
+  std::uint64_t gh_incremental = 0;
+  std::uint64_t gh_tree_reuses = 0;
+};
+
 struct OddSetOptions {
   double eps = 0.1;
   /// Max ||U||_b of a returned set (0 = use 4/eps).
@@ -57,6 +70,9 @@ class OddSetSeparator {
       std::size_t n, const std::vector<OddSetQueryEdge>& q_edges,
       const std::vector<double>& q_hat, const Capacities& b,
       const OddSetOptions& options);
+
+  /// Flow-work counters accumulated across every find() on this engine.
+  SeparationStats stats() const;
 
  private:
   void ensure(std::size_t n);
@@ -93,8 +109,14 @@ class OddSetSeparator {
   FlowArena net_;
   GomoryHuTree tree_;
   // Tree-reuse token: a residual round (or a repeat call) whose network is
-  // unchanged since tree_ was built skips Gusfield's n-1 max-flows.
+  // unchanged since tree_ was built skips Gusfield's n-1 max-flows; after a
+  // contraction, the stamped cut rows drive the incremental replay that
+  // recomputes only the flows the contraction touched.
   GomoryHuStamp gh_stamp_;
+  // The most recent residual contraction, consumed by the next round's
+  // gomory_hu_contract_update.
+  GomoryHuContraction gh_delta_;
+  bool gh_delta_pending_ = false;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> raw_;
   std::vector<ArenaEdge> agg_;
   std::vector<std::int64_t> incident_cap_;

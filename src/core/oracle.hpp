@@ -150,6 +150,11 @@ class MicroOracle {
   /// (lambda, covering_us) so one solve runs exactly one pool.
   ThreadPool* worker_pool() const { return pool(); }
 
+  /// Aggregate Gomory-Hu / max-flow counters of the per-level separation
+  /// engines this oracle owns (monotone across invocations; summed in
+  /// fixed job-slot order, so identical for any thread count).
+  SeparationStats separation_stats() const;
+
  private:
   struct Scratch;  // reusable flat buffers; defined in oracle.cpp
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.hpp"
+
 namespace dp::core {
 
 namespace {
@@ -56,12 +58,19 @@ void exp_floor_multipliers(ThreadPool* pool, std::size_t grain,
   partial.assign(chunks, 0.0);
   double* out = u.data();
   double* part = partial.data();
+  // Three passes per chunk so the exp batch is a pure elementwise sweep
+  // (util/simd): argument fill, exp_batch in place, then the level-weight
+  // divide fused with the exact max reduction. Chunk results depend only on
+  // [lo, hi), so the fixed-grain determinism contract is untouched.
   run_chunks(pool, 0, count, grain,
              [&](std::size_t c, std::size_t lo, std::size_t hi) {
+               for (std::size_t i = lo; i < hi; ++i) {
+                 out[i] = -alpha * (ratio[i] - min_ratio);
+               }
+               simd::exp_batch(out + lo, out + lo, hi - lo);
                double local_max = 0;
                for (std::size_t i = lo; i < hi; ++i) {
-                 out[i] = std::exp(-alpha * (ratio[i] - min_ratio)) /
-                          lg.level_weight(level_at(i));
+                 out[i] /= lg.level_weight(level_at(i));
                  local_max = std::max(local_max, out[i]);
                }
                part[c] = local_max;
@@ -139,12 +148,25 @@ double RoundPipeline::open_round(const DualState& state) {
   return min_ratio;
 }
 
+RoundPipeline::~RoundPipeline() {
+  if (pending_ && pending_offline_.valid()) pending_offline_.wait();
+}
+
+void RoundPipeline::join_pending(Incumbent& inc, ResourceMeter& meter) {
+  if (!pending_) return;
+  pending_ = false;
+  stage_merge(pending_offline_, inc, meter, pending_stored_);
+}
+
 RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
                                                     double lambda,
                                                     DualState& state,
                                                     Incumbent& inc,
                                                     ResourceMeter& meter) {
   RoundReport report;
+  // Defensive: a deferred Merge must land before this round touches the
+  // incumbent or the stage meters (the solver normally joined already).
+  join_pending(inc, meter);
   // Stage boundaries are safe points: no partially-applied state mutation
   // exists between stages, so a stop here loses at most buffer fills.
   options_.stop.throw_if_stopped("pipeline.multipliers");
@@ -164,7 +186,19 @@ RoundPipeline::RoundReport RoundPipeline::run_round(std::size_t round,
     if (offline.valid()) offline.wait();
     throw;
   }
-  stage_merge(offline, inc, meter, draws.stored_total());
+  if (options_.cross_round) {
+    // Cross-round pipelining: park the Merge. The offline job keeps
+    // running while the caller opens the next round (the opening sweep
+    // reads only the dual state and the immutable substrate table, the job
+    // reads only the frozen draw and the table — no shared mutable state).
+    // The draw stays frozen until the next stage_draw, which join_pending
+    // always precedes.
+    pending_offline_ = std::move(offline);
+    pending_stored_ = draws.stored_total();
+    pending_ = true;
+  } else {
+    stage_merge(offline, inc, meter, draws.stored_total());
+  }
   return report;
 }
 
@@ -263,6 +297,22 @@ void RoundPipeline::stage_inner(const SamplingRound& draws, double alpha,
     state.blend(mr.x, sigma);
   }
   ctx_.inner_meter.add_oracle_calls(report.oracle_calls);
+  // Per-round separation flow-work delta. The oracle's counters are
+  // monotone over its lifetime; differencing against the last-seen snapshot
+  // charges exactly this round's flows to this round's inner meter. The
+  // separation work is a pure function of the oracle inputs, so the delta
+  // is identical for any thread count, overlap mode or substrate.
+  const SeparationStats sep = oracle_->separation_stats();
+  ctx_.inner_meter.add_max_flows(sep.max_flows - sep_seen_.max_flows);
+  ctx_.inner_meter.add_max_flows_saved(sep.flows_saved -
+                                       sep_seen_.flows_saved);
+  ctx_.inner_meter.add_gh_full_builds(sep.gh_full_builds -
+                                      sep_seen_.gh_full_builds);
+  ctx_.inner_meter.add_gh_incremental(sep.gh_incremental -
+                                      sep_seen_.gh_incremental);
+  ctx_.inner_meter.add_gh_tree_reuses(sep.gh_tree_reuses -
+                                      sep_seen_.gh_tree_reuses);
+  sep_seen_ = sep;
 }
 
 void RoundPipeline::stage_merge(Future<OfflineSolution>& offline,
@@ -473,12 +523,17 @@ void RoundPipeline::build_zeta(const DualState& state) {
   for (std::size_t c = 0; c < chunks; ++c) {
     max_expo = std::max(max_expo, partial[c]);
   }
+  // Shift / exp_batch / divide as separate elementwise passes so the exp
+  // runs through the vectorizable kernel (util/simd).
   run_chunks(pool_, 0, rows, grain,
              [&](std::size_t, std::size_t lo, std::size_t hi) {
                for (std::size_t r = lo; r < hi; ++r) {
+                 expos[r] -= max_expo;
+               }
+               simd::exp_batch(expos + lo, expos + lo, hi - lo);
+               for (std::size_t r = lo; r < hi; ++r) {
                  const int k = static_cast<int>(row_keys[r] % levels);
-                 expos[r] = std::exp(expos[r] - max_expo) /
-                            (3.0 * lg.level_weight(k));
+                 expos[r] /= 3.0 * lg.level_weight(k);
                }
              });
   ctx_.zeta.clear();

@@ -97,6 +97,14 @@ struct RoundPipelineOptions {
   /// Run OfflineResolve concurrently with InnerRefine. Off = the
   /// sequential reference; the result is bitwise identical either way.
   bool overlap_offline = true;
+  /// Cross-round software pipelining: run_round returns with the round's
+  /// OfflineResolve future still in flight (the Merge join deferred) so the
+  /// NEXT round's opening multiplier sweep overlaps the offline tail. The
+  /// caller joins at the second join point — join_pending() right after
+  /// open_round — before anything reads the incumbent. The fold runs at
+  /// the same logical place in the round order either way, so the result
+  /// is bitwise identical for deferral on or off.
+  bool cross_round = false;
   /// Deferred-sparsifier probability knobs for the Multipliers stage.
   DeferredOptions deferred;
   /// Offline solver knobs for OfflineResolve.
@@ -121,6 +129,11 @@ class RoundPipeline {
                 const Capacities& b, bool unit_caps, MicroOracle& oracle,
                 RoundPipelineOptions options);
 
+  /// Joins a still-pending deferred OfflineResolve job (the job reads
+  /// `this` and the frozen draw, so it must never outlive the pipeline).
+  /// The result is discarded — join_pending is the semantic join point.
+  ~RoundPipeline();
+
   struct RoundReport {
     std::size_t stored_edges = 0;
     std::size_t oracle_calls = 0;
@@ -140,6 +153,18 @@ class RoundPipeline {
   /// the per-stage meters into `meter` at the join point.
   RoundReport run_round(std::size_t round, double lambda, DualState& state,
                         Incumbent& inc, ResourceMeter& meter);
+
+  /// True when a cross-round-deferred Merge awaits join_pending().
+  bool merge_pending() const noexcept { return pending_; }
+
+  /// The SECOND join point (cross-round pipelining): join the deferred
+  /// round's OfflineResolve future and run its Merge stage — fold the
+  /// offline solution into the incumbent, merge the stage meters into
+  /// `meter` in fixed stage order, release the round's stored edges. Must
+  /// run before anything reads the incumbent for the deferred round (the
+  /// solver calls it right after the next open_round, and on every loop
+  /// exit path). No-op when nothing is pending.
+  void join_pending(Incumbent& inc, ResourceMeter& meter);
 
   /// Offline re-solve on an explicit stored subgraph: full-graph edge ids
   /// plus their attributes (parallel arrays). The initial support and the
@@ -216,6 +241,14 @@ class RoundPipeline {
   RoundPipelineOptions options_;
   CounterRng sample_rng_;
   double staged_min_ratio_ = 0.0;  // open_round's exact min (= lambda)
+  // Last-seen oracle separation counters; stage_inner differences against
+  // this snapshot to charge each round's max-flow work to its own meter.
+  SeparationStats sep_seen_;
+  // Cross-round deferred Merge: the offline future and its round's stored
+  // total, parked between run_round and join_pending.
+  Future<OfflineSolution> pending_offline_;
+  std::size_t pending_stored_ = 0;
+  bool pending_ = false;
   RoundContext ctx_;
 };
 

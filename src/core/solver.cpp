@@ -119,6 +119,13 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
   // into the anytime result.
   const StopCheck stop(options_.cancel, options_.deadline);
   popt.stop = stop;
+  // Cross-round deferral of the Merge join (the pipeline's second join
+  // point). Per-round checkpointing pins the classic stage order: the
+  // checkpoint snapshots the meters at the round boundary, and a deferred
+  // join would move that boundary past the next round's opening pass.
+  popt.cross_round = options_.pipeline_cross_round &&
+                     options_.pipeline_overlap && !options_.on_checkpoint &&
+                     !stop.armed();
   substrate->set_stop(stop);
   substrate->bind(g, lg, pool, popt.grain);
 
@@ -245,6 +252,31 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
     return ck;
   };
 
+  // Cross-round pipelining bookkeeping: a deferred round's report is
+  // booked (outer_rounds, oracle calls, history) only once its Merge joins
+  // at the second join point — the incumbent the history row records is
+  // the post-merge one, exactly as in the classic order.
+  struct PendingRound {
+    bool active = false;
+    std::size_t round = 0;
+    double lambda = 0;
+    RoundPipeline::RoundReport rep;
+  } pending;
+  const auto finalize_pending = [&]() {
+    if (!pending.active) return;
+    pending.active = false;
+    pipeline.join_pending(inc, result.meter);
+    ++result.outer_rounds;
+    result.oracle_calls += pending.rep.oracle_calls;
+    result.history.push_back(RoundStats{pending.round + 1, pending.lambda,
+                                        inc.beta, inc.value,
+                                        pending.rep.stored_edges,
+                                        pending.rep.oracle_calls});
+    DP_INFO("round " << pending.round + 1 << " lambda=" << pending.lambda
+                     << " beta=" << inc.beta << " best=" << inc.value
+                     << " stored=" << pending.rep.stored_edges);
+  };
+
   bool lambda_fresh = false;
   for (std::size_t round = start_round; round < max_rounds; ++round) {
     // Safe point: the round-loop top. Nothing of round `round` has run, so
@@ -272,6 +304,10 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
       result.fault_detail = fault.what();
       break;
     }
+    // SECOND JOIN POINT (cross-round pipelining): the previous round's
+    // offline tail overlapped the sweep above; its Merge and bookkeeping
+    // land here, before anything below reads the incumbent.
+    finalize_pending();
     result.lambda = lambda;
     lambda_fresh = true;
     if (lambda >= 1.0 - 3.0 * eps) break;
@@ -302,6 +338,13 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
       break;
     }
     lambda_fresh = false;
+    if (popt.cross_round) {
+      // Merge deferred: the offline job is still in flight. Book the round
+      // after the join (next iteration's finalize_pending, or the one
+      // right after the loop on any exit path).
+      pending = PendingRound{true, round, lambda, rep};
+      continue;
+    }
     ++result.outer_rounds;
     result.oracle_calls += rep.oracle_calls;
 
@@ -320,6 +363,10 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
       }
     }
   }
+  // Every loop exit (stopping rule, round budget, fault, abort) runs the
+  // join here if the last round's Merge is still deferred — the incumbent
+  // and meters must be whole before the certificate below reads them.
+  finalize_pending();
   // Early-stopped solves carry their resume handle: interrupt -> resume
   // round-trips without the caller wiring its own on_checkpoint, and a
   // deadline-expired request re-submitted with the checkpoint warm-resumes

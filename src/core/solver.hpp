@@ -95,6 +95,15 @@ struct SolverOptions {
   /// iterations (core/round_pipeline). Off = the sequential stage
   /// reference; the result is bitwise identical either way.
   bool pipeline_overlap = true;
+  /// Cross-round software pipelining: defer each round's Merge join past
+  /// the round boundary so the offline re-solve's tail overlaps the NEXT
+  /// round's opening multiplier sweep (the pipeline's second join point).
+  /// Takes effect only with pipeline_overlap on and no per-round
+  /// checkpointing (on_checkpoint / armed cancel / deadline force the
+  /// classic order, whose round boundary the checkpoint snapshot
+  /// captures). The SolverResult — meters included — is bitwise identical
+  /// for cross-round on or off, at any thread count, on every substrate.
+  bool pipeline_cross_round = true;
   /// Access substrate the whole solve runs through (src/access): nullptr =
   /// an internal in-memory substrate; otherwise a caller-owned backend
   /// (streaming / MapReduce / custom) the solver bind()s for this solve.

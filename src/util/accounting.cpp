@@ -15,6 +15,11 @@ void ResourceMeter::merge(const ResourceMeter& other) noexcept {
   inner_iterations_ += other.inner_iterations_;
   oracle_calls_ += other.oracle_calls_;
   faults_ += other.faults_;
+  max_flows_ += other.max_flows_;
+  max_flows_saved_ += other.max_flows_saved_;
+  gh_full_builds_ += other.gh_full_builds_;
+  gh_incremental_ += other.gh_incremental_;
+  gh_tree_reuses_ += other.gh_tree_reuses_;
 }
 
 std::string ResourceMeter::summary() const {
@@ -22,7 +27,10 @@ std::string ResourceMeter::summary() const {
   os << "rounds=" << rounds_ << " passes=" << passes_
      << " peak_edges=" << peak_edges_ << " sketch_words=" << sketch_words_
      << " messages=" << messages_ << " inner_iters=" << inner_iterations_
-     << " oracle_calls=" << oracle_calls_ << " faults=" << faults_;
+     << " oracle_calls=" << oracle_calls_ << " faults=" << faults_
+     << " max_flows=" << max_flows_ << " flows_saved=" << max_flows_saved_
+     << " gh_builds=" << gh_full_builds_ << "/" << gh_incremental_ << "/"
+     << gh_tree_reuses_;
   return os.str();
 }
 

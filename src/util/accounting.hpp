@@ -63,6 +63,18 @@ class ResourceMeter {
   /// messages — so faults() is the denominator of per-fault recovery cost.
   void add_faults(std::size_t k = 1) noexcept { faults_ += k; }
 
+  /// Max-flow computations run by odd-set separation (Gusfield, Lemma 25),
+  /// and flows skipped by the incremental per-subtree Gomory-Hu reuse
+  /// after contraction — the hot-path saving made observable.
+  void add_max_flows(std::size_t k) noexcept { max_flows_ += k; }
+  void add_max_flows_saved(std::size_t k) noexcept { max_flows_saved_ += k; }
+
+  /// Gomory-Hu tree (re)build outcomes: full Gusfield rebuilds,
+  /// incremental post-contraction updates, whole-tree cache hits.
+  void add_gh_full_builds(std::size_t k) noexcept { gh_full_builds_ += k; }
+  void add_gh_incremental(std::size_t k) noexcept { gh_incremental_ += k; }
+  void add_gh_tree_reuses(std::size_t k) noexcept { gh_tree_reuses_ += k; }
+
   std::size_t rounds() const noexcept { return rounds_; }
   std::size_t passes() const noexcept { return passes_; }
   std::size_t stored_edges() const noexcept { return stored_edges_; }
@@ -72,6 +84,11 @@ class ResourceMeter {
   std::size_t inner_iterations() const noexcept { return inner_iterations_; }
   std::size_t oracle_calls() const noexcept { return oracle_calls_; }
   std::size_t faults() const noexcept { return faults_; }
+  std::size_t max_flows() const noexcept { return max_flows_; }
+  std::size_t max_flows_saved() const noexcept { return max_flows_saved_; }
+  std::size_t gh_full_builds() const noexcept { return gh_full_builds_; }
+  std::size_t gh_incremental() const noexcept { return gh_incremental_; }
+  std::size_t gh_tree_reuses() const noexcept { return gh_tree_reuses_; }
 
   void reset() noexcept { *this = ResourceMeter{}; }
 
@@ -91,6 +108,11 @@ class ResourceMeter {
   std::size_t inner_iterations_ = 0;
   std::size_t oracle_calls_ = 0;
   std::size_t faults_ = 0;
+  std::size_t max_flows_ = 0;
+  std::size_t max_flows_saved_ = 0;
+  std::size_t gh_full_builds_ = 0;
+  std::size_t gh_incremental_ = 0;
+  std::size_t gh_tree_reuses_ = 0;
 };
 
 }  // namespace dp

@@ -1,0 +1,39 @@
+#pragma once
+// Vectorizable elementwise kernels for the round pipeline's exp batches.
+//
+// The hot exp sites (the Theorem 5 multiplier rule and the zeta packing
+// sweep in core/round_pipeline) spend their time in libm's scalar exp: the
+// call is opaque to the autovectorizer, so the surrounding loop stays
+// scalar no matter how flat the data is. exp_batch_poly is a branch-free
+// polynomial exp — range-clamped argument, 2^52 magic-number rounding for
+// k = round(x log2 e), Cody-Waite ln2 reduction, degree-11 Horner
+// polynomial, exponent-field assembly of 2^k — whose loop body is pure
+// straight-line arithmetic on each element and therefore vectorizes (see
+// the DP_VEC_REPORT build artifact). It is a deterministic pure function
+// per element (identical result at any batch position, thread count or
+// chunking), accurate to a few ulp over the full double range.
+//
+// Which kernel the pipeline uses is a CONFIGURE-TIME choice (DP_VECTOR_EXP,
+// default ON): exp_batch dispatches to the polynomial kernel when enabled
+// and to the batched libm loop otherwise. Both kernels are always compiled
+// so tests and bench_micro can compare them directly in every build.
+
+#include <cstddef>
+
+namespace dp::simd {
+
+/// out[i] = exp(x[i]) via the branch-free polynomial kernel. In-place
+/// (out == x) is allowed.
+void exp_batch_poly(const double* x, double* out, std::size_t n);
+
+/// out[i] = std::exp(x[i]) (libm reference / fallback). In-place allowed.
+void exp_batch_libm(const double* x, double* out, std::size_t n);
+
+/// The pipeline's exp: polynomial when the build enabled DP_VECTOR_EXP,
+/// libm otherwise.
+void exp_batch(const double* x, double* out, std::size_t n);
+
+/// True when exp_batch routes to the vectorized polynomial kernel.
+bool vectorized_exp() noexcept;
+
+}  // namespace dp::simd

@@ -207,6 +207,35 @@ TEST(OddSetSeparation, DisjointFamily) {
   }
 }
 
+TEST(OddSetSeparation, IncrementalGusfieldAcrossContractionRounds) {
+  // A found-and-contracted round must make the NEXT round's Gusfield
+  // tree come from the incremental stamped replay, not a scratch
+  // rebuild — with strictly fewer max-flows. The heavy triangle sits on
+  // the HIGHEST active ids so the stamped root (local 0) survives the
+  // contraction (a contracted root is the documented full-rebuild
+  // fallback), and the light edges are disjoint pairs: never an odd
+  // set, but they keep the residual network alive into round 2.
+  const std::size_t n = 12;
+  std::vector<OddSetQueryEdge> q{{0, 1, 0.1}, {2, 3, 0.1}, {4, 5, 0.1},
+                                 {6, 7, 2.0}, {7, 8, 2.0}, {6, 8, 2.0}};
+  std::vector<double> q_hat(n, 0.0);
+  for (Vertex v = 0; v < 6; ++v) q_hat[v] = 1.0;
+  q_hat[6] = q_hat[7] = q_hat[8] = 4.1;  // just above the incident sum
+  OddSetOptions opt;
+  opt.eps = 0.25;
+  OddSetSeparator sep;
+  const auto sets = sep.find(n, q, q_hat, Capacities::unit(n), opt);
+  bool found_triangle = false;
+  for (const auto& set : sets) {
+    if (set == std::vector<Vertex>{6, 7, 8}) found_triangle = true;
+  }
+  EXPECT_TRUE(found_triangle);
+  const SeparationStats s = sep.stats();
+  EXPECT_EQ(s.gh_full_builds, 1u);   // round 1 only
+  EXPECT_GE(s.gh_incremental, 1u);   // round 2 replayed the stamp
+  EXPECT_GT(s.flows_saved, 0u);      // with reused (free) steps
+}
+
 TEST(OddSetSeparation, SeparatorReuseMatchesFreeFunction) {
   // One OddSetSeparator reused across many instances must behave exactly
   // like a fresh one every time: the touched-entry resets restore the

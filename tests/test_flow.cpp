@@ -282,6 +282,117 @@ TEST(GomoryHu, CachedTreeReusedWhileNetworkUnchanged) {
   EXPECT_FALSE(gomory_hu_from_arena_cached(net, &alive, tree, stamp));
 }
 
+TEST(GomoryHu, IncrementalContractUpdateMatchesScratchRebuild) {
+  // Randomized residual-round simulation of the odd-set separator's
+  // contraction pattern (Lemma 25): a special node s carries each vertex's
+  // clamped deficiency, every round kills a random vertex set and
+  // restitutes each crossing q-edge's capacity onto the surviving
+  // endpoint's s-edge. The incremental replay must (a) leave a tree whose
+  // ALL-PAIRS min-cut values equal a from-scratch Gusfield build — parents
+  // may legitimately differ, both are valid Gusfield executions — and
+  // (b) when the exact-compensation certificate held, run strictly fewer
+  // max-flows than the alive-1 a full rebuild costs.
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    Rng rng(900 + trial);
+    const std::size_t n = 18 + 3 * trial;  // includes the special node
+    const auto s = static_cast<std::uint32_t>(n - 1);
+    std::vector<ArenaEdge> edges;
+    std::vector<std::int64_t> deficiency(n, 0);
+    for (std::uint32_t v = 0; v < s; ++v) {
+      // Negative initial deficiencies (clamped to a 0-cap s-edge) mirror
+      // the separator's q_hat - sum q and exercise the inexact fallback.
+      deficiency[v] = static_cast<std::int64_t>(rng.uniform(7)) - 2;
+      edges.push_back(
+          ArenaEdge{v, s, std::max<std::int64_t>(deficiency[v], 0)});
+    }
+    for (std::size_t e = 0; e < 3 * n; ++e) {
+      const auto u = static_cast<std::uint32_t>(rng.uniform(s));
+      const auto v = static_cast<std::uint32_t>(rng.uniform(s));
+      if (u == v) continue;
+      edges.push_back(ArenaEdge{std::min(u, v), std::max(u, v),
+                                static_cast<std::int64_t>(1 + rng.uniform(6))});
+    }
+    aggregate_parallel_edges(edges);
+    FlowArena net;
+    net.build(n, edges);
+    std::vector<std::size_t> s_edge(n, 0);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].v == s) s_edge[edges[e].u] = e;
+    }
+
+    std::vector<char> alive(n, 1);
+    GomoryHuTree tree;
+    GomoryHuStamp stamp;
+    EXPECT_TRUE(gomory_hu_from_arena_cached(net, &alive, tree, stamp));
+    std::size_t alive_count = n;
+
+    for (int round = 0; round < 4 && alive_count > 8; ++round) {
+      GomoryHuContraction delta;
+      delta.s_node = s;
+      std::vector<char> dead(n, 0);
+      for (std::uint32_t v = 0; v < s; ++v) {
+        if (alive[v] && rng.uniform(5) == 0) dead[v] = 1;
+      }
+      // At least one contraction per round, never the special node.
+      if (std::find(dead.begin(), dead.end(), char{1}) == dead.end()) {
+        for (std::uint32_t v = 0; v < s; ++v) {
+          if (alive[v]) {
+            dead[v] = 1;
+            break;
+          }
+        }
+      }
+      // Restitution: every live q-edge with exactly one dead endpoint
+      // moves its capacity onto the survivor's s-edge (clamped at 0).
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        const std::uint32_t u = edges[e].u;
+        const std::uint32_t v = edges[e].v;
+        if (v == s) continue;
+        if (!alive[u] || !alive[v] || dead[u] == dead[v]) continue;
+        const std::uint32_t keep = dead[u] ? v : u;
+        if (deficiency[keep] < 0) delta.exact_compensation = false;
+        deficiency[keep] += edges[e].cap;
+        net.set_edge_base_cap(s_edge[keep],
+                              std::max<std::int64_t>(deficiency[keep], 0));
+      }
+      for (std::uint32_t v = 0; v < s; ++v) {
+        if (!dead[v]) continue;
+        net.disable_vertex(v);
+        alive[v] = 0;
+        --alive_count;
+        delta.contracted.push_back(v);
+      }
+
+      // Contracting the stamped tree's root forfeits the replay (a
+      // documented full-rebuild fallback), so the strict gate below only
+      // applies while the root survives.
+      const bool root_died = dead[tree.root] != 0;
+      const std::size_t flows_before = net.flows_run();
+      const std::size_t ran =
+          gomory_hu_contract_update(net, &alive, delta, tree, stamp);
+      EXPECT_EQ(net.flows_run() - flows_before, ran)
+          << "trial " << trial << " round " << round;
+      if (delta.exact_compensation && !root_died) {
+        // The hot-path gate: strictly fewer flows than a full rebuild.
+        EXPECT_LT(ran, alive_count - 1)
+            << "trial " << trial << " round " << round;
+      }
+
+      const GomoryHuTree scratch = gomory_hu_from_arena(net, &alive);
+      for (std::uint32_t u = 0; u < n; ++u) {
+        if (!alive[u]) continue;
+        for (std::uint32_t v = u + 1; v < n; ++v) {
+          if (!alive[v]) continue;
+          ASSERT_EQ(tree.min_cut(u, v), scratch.min_cut(u, v))
+              << "trial " << trial << " round " << round << " pair " << u
+              << "," << v;
+        }
+      }
+    }
+    EXPECT_GT(stamp.flows_saved, 0u) << "trial " << trial;
+  }
+}
+
 TEST(GomoryHu, FromArenaRespectsAliveMask) {
   // Two triangles joined by a light bridge; masking one triangle out must
   // yield the tree of the other alone.

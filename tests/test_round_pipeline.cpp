@@ -57,6 +57,13 @@ void expect_bitwise_equal(const SolverResult& a, const SolverResult& b,
   EXPECT_EQ(a.meter.inner_iterations(), b.meter.inner_iterations())
       << label;
   EXPECT_EQ(a.meter.oracle_calls(), b.meter.oracle_calls()) << label;
+  // Separation flow-work counters (incremental Gusfield): the same flows
+  // must run — and the same flows be saved — in every execution mode.
+  EXPECT_EQ(a.meter.max_flows(), b.meter.max_flows()) << label;
+  EXPECT_EQ(a.meter.max_flows_saved(), b.meter.max_flows_saved()) << label;
+  EXPECT_EQ(a.meter.gh_full_builds(), b.meter.gh_full_builds()) << label;
+  EXPECT_EQ(a.meter.gh_incremental(), b.meter.gh_incremental()) << label;
+  EXPECT_EQ(a.meter.gh_tree_reuses(), b.meter.gh_tree_reuses()) << label;
   for (EdgeId e = 0; e < a.b_matching.num_edges(); ++e) {
     ASSERT_EQ(a.b_matching.multiplicity(e), b.b_matching.multiplicity(e))
         << label << " edge " << e;
@@ -66,24 +73,30 @@ void expect_bitwise_equal(const SolverResult& a, const SolverResult& b,
 TEST(RoundPipeline, BitwiseIdenticalAcrossThreadsAndOverlap) {
   Graph g = gen::gnm(120, 900, 61);
   gen::weight_uniform(g, 1.0, 12.0, 62);
-  // Sequential reference: serial stages, one thread.
+  // Sequential reference: serial stages, one thread, no cross-round
+  // deferral.
   SolverOptions ref_opt = pipeline_options();
   ref_opt.pipeline_overlap = false;
+  ref_opt.pipeline_cross_round = false;
   ref_opt.oracle.threads = 1;
   const SolverResult ref = solve_matching(g, ref_opt);
   EXPECT_GT(ref.value, 0.0);
   EXPECT_FALSE(ref.history.empty());
 
   for (const bool overlap : {false, true}) {
-    for (const std::size_t threads : {1, 2, 8}) {
-      SolverOptions opt = pipeline_options();
-      opt.pipeline_overlap = overlap;
-      opt.oracle.threads = threads;
-      const SolverResult run = solve_matching(g, opt);
-      const std::string label = std::string("overlap=") +
-                                (overlap ? "on" : "off") + " threads=" +
-                                std::to_string(threads);
-      expect_bitwise_equal(ref, run, label.c_str());
+    for (const bool cross_round : {false, true}) {
+      for (const std::size_t threads : {1, 2, 8}) {
+        SolverOptions opt = pipeline_options();
+        opt.pipeline_overlap = overlap;
+        opt.pipeline_cross_round = cross_round;
+        opt.oracle.threads = threads;
+        const SolverResult run = solve_matching(g, opt);
+        const std::string label =
+            std::string("overlap=") + (overlap ? "on" : "off") +
+            " cross_round=" + (cross_round ? "on" : "off") +
+            " threads=" + std::to_string(threads);
+        expect_bitwise_equal(ref, run, label.c_str());
+      }
     }
   }
 }
