@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -102,11 +103,15 @@ Measurement time_lagrangian(const Oracle& oracle, const Workload& w,
 /// 0 = exp batch (libm loop vs branch-free polynomial), 1 = one SweepKernel
 /// multiplier sweep (scalar libm body vs fill/exp_batch_poly/divide),
 /// 2 = post-contraction Gomory-Hu (full Gusfield rebuild vs incremental
-/// stamped replay).
+/// stamped replay), 3 = the non-exp sweep body (scalar fill/divide/max
+/// loops vs the clones-dispatched fill_scaled_shift + divide_max_positive
+/// with the bit-pattern integer max reduction; bitwise-equality asserted
+/// before timing).
 void bench_kernels(bool quick) {
   bench::header("micro kernels (hot-path round 2)",
                 "isolated kernel speedups: vectorized exp batch, SIMD-ized "
-                "multiplier sweep, incremental Gusfield after contraction");
+                "multiplier sweep, incremental Gusfield after contraction, "
+                "clones-dispatched fill/divide-max sweep body");
   bench::BenchReport report("micro_kernels",
                             {"kernel", "n", "reps", "base_per_sec",
                              "fast_per_sec", "speedup"});
@@ -284,6 +289,91 @@ void bench_kernels(bool quick) {
                 fast_rate / base_rate, n - 1 - delta.contracted.size(),
                 flows_incremental);
     report.add({2.0, static_cast<double>(n), static_cast<double>(reps),
+                base_rate, fast_rate, fast_rate / base_rate});
+  }
+  // ---- Kernel 3: the non-exp sweep body — fill the scaled-shifted
+  // exponent, then divide by the level weight with a chunk-max reduction.
+  // Baseline: the plain scalar loops with a std::max fold. Fast: the
+  // target_clones SSE2/AVX2/AVX-512 dispatched fill_scaled_shift +
+  // divide_max_positive, whose max reduction runs on the bit patterns as
+  // signed integers (exact for positive doubles) so GCC vectorizes it
+  // without -ffast-math. Bitwise equality is asserted before timing. ----
+  {
+    const std::size_t n = quick ? (1u << 14) : (1u << 18);
+    const std::size_t reps = quick ? 400 : 60;
+    const std::size_t grain = 1024;  // RoundPipelineOptions::grain
+    const double alpha = 7.5;
+    const double shift = 0.125;
+    std::vector<double> ratio(n);
+    std::vector<double> w(n);
+    std::vector<double> a(n);
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ratio[i] = shift + 5.0 * rng.uniform_real();
+      w[i] = 1.0 + 3.0 * rng.uniform_real();
+    }
+    // Bitwise check: scalar fold vs clones-dispatched kernels, per chunk.
+    for (std::size_t lo = 0; lo < n; lo += grain) {
+      const std::size_t hi = std::min(n, lo + grain);
+      double scalar_max = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) {
+        a[i] = -alpha * (ratio[i] - shift);
+        a[i] = std::exp(a[i]);
+        a[i] /= w[i];
+        scalar_max = std::max(scalar_max, a[i]);
+      }
+      simd::fill_scaled_shift(ratio.data() + lo, b.data() + lo, hi - lo,
+                              alpha, shift);
+      simd::exp_batch_libm(b.data() + lo, b.data() + lo, hi - lo);
+      const double simd_max =
+          simd::divide_max_positive(b.data() + lo, w.data() + lo, hi - lo);
+      if (std::memcmp(a.data() + lo, b.data() + lo,
+                      (hi - lo) * sizeof(double)) != 0 ||
+          scalar_max != simd_max) {
+        std::fprintf(stderr,
+                     "FATAL: clones-dispatched sweep body not bitwise equal "
+                     "to the scalar loops\n");
+        std::exit(1);
+      }
+    }
+    // Timed loops drop the exp between fill and divide to isolate the body
+    // this kernel row is about; a negated alpha keeps every quotient
+    // positive, as divide_max_positive's integer max requires.
+    const double talpha = -alpha;
+    WallTimer t_scalar;
+    for (std::size_t r = 0; r < reps; ++r) {
+      double local_max = 0;
+      for (std::size_t lo = 0; lo < n; lo += grain) {
+        const std::size_t hi = std::min(n, lo + grain);
+        for (std::size_t i = lo; i < hi; ++i) {
+          a[i] = -talpha * (ratio[i] - shift);
+          a[i] /= w[i];
+          local_max = std::max(local_max, a[i]);
+        }
+      }
+      sink += local_max;
+    }
+    const double scalar_s = t_scalar.seconds();
+    WallTimer t_vec;
+    for (std::size_t r = 0; r < reps; ++r) {
+      double local_max = 0;
+      for (std::size_t lo = 0; lo < n; lo += grain) {
+        const std::size_t hi = std::min(n, lo + grain);
+        simd::fill_scaled_shift(ratio.data() + lo, b.data() + lo, hi - lo,
+                                talpha, shift);
+        local_max = std::max(
+            local_max,
+            simd::divide_max_positive(b.data() + lo, w.data() + lo, hi - lo));
+      }
+      sink += local_max;
+    }
+    const double vec_s = t_vec.seconds();
+    const double total = static_cast<double>(n) * static_cast<double>(reps);
+    const double base_rate = total / scalar_s;
+    const double fast_rate = total / vec_s;
+    std::printf("%-10s %-9zu %-6zu %16.3e %16.3e %8.2fx\n", "fill_divmax",
+                n, reps, base_rate, fast_rate, fast_rate / base_rate);
+    report.add({3.0, static_cast<double>(n), static_cast<double>(reps),
                 base_rate, fast_rate, fast_rate / base_rate});
   }
   if (sink == 12345.6789) std::printf("sink %f\n", sink);

@@ -13,10 +13,14 @@
 # BENCH_substrate.json), and bench_faults (which gates clean ==
 # fault-injected == killed+resumed bitwise across substrates and 1/2/8
 # threads and refreshes BENCH_faults.json with the recovery accounting
-# and checkpoint-overhead columns), and finally bench_serve --quick
+# and checkpoint-overhead columns), then bench_serve --quick
 # (which gates the serving layer's certified-or-typed response invariant
 # plus the deadline -> warm-resume bitwise round-trip, and refreshes
-# BENCH_serve.json with the latency percentile / shed-rate columns).
+# BENCH_serve.json with the latency percentile / shed-rate columns), and
+# finally bench_dynamic --quick (which gates the warm re-solve's value and
+# certified ratio bitwise-equal to from-scratch after a k-edge delta with
+# >= 5x fewer MW rounds and substrate passes, and refreshes
+# BENCH_dynamic.json with the rounds/pass-ratio and saved-work columns).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,4 +38,5 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 "./$BUILD_DIR/bench_substrate"
 "./$BUILD_DIR/bench_faults"
 "./$BUILD_DIR/bench_serve" --quick
+"./$BUILD_DIR/bench_dynamic" --quick
 echo "check.sh: OK"

@@ -210,6 +210,7 @@ std::vector<std::uint8_t> RoundCheckpoint::serialize() const {
   put_u64(payload, m);
   put_u64(payload, retained);
   put_i32(payload, levels);
+  put_u64(payload, graph_generation);
   // Position.
   put_u64(payload, next_round);
   put_u64(payload, outer_rounds);
@@ -291,6 +292,7 @@ RoundCheckpoint RoundCheckpoint::deserialize(
   ck.m = in.u64();
   ck.retained = in.u64();
   ck.levels = in.i32();
+  ck.graph_generation = in.u64();
   ck.next_round = in.u64();
   ck.outer_rounds = in.u64();
   ck.oracle_calls = in.u64();

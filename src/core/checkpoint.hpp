@@ -56,7 +56,11 @@ struct MeterSnapshot {
 struct RoundCheckpoint {
   // v2: MeterSnapshot grew the separation flow-work counters (max_flows,
   // max_flows_saved, gh_full_builds, gh_incremental, gh_tree_reuses).
-  static constexpr std::uint32_t kVersion = 2;
+  // v3: identity grew graph_generation — the dynamic-graph delta counter.
+  // A checkpoint cut before a delta must not silently resume against the
+  // mutated graph: n/m/retained can all survive a remove+insert delta, so
+  // the generation is the field that makes staleness a typed rejection.
+  static constexpr std::uint32_t kVersion = 3;
 
   // -- Identity: the solve configuration this checkpoint belongs to. --
   std::uint64_t solver_seed = 0;
@@ -68,6 +72,7 @@ struct RoundCheckpoint {
   std::uint64_t m = 0;
   std::uint64_t retained = 0;
   std::int32_t levels = 0;
+  std::uint64_t graph_generation = 0;
 
   // -- Position: where the outer loop resumes. --
   std::uint64_t next_round = 0;

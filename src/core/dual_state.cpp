@@ -115,6 +115,22 @@ void DualState::add_odd_set(const OddSetVar& var, double factor) {
   }
 }
 
+bool DualState::raise_cover(Vertex i, Vertex j, int k, double target) {
+  const double row = cover_row(i, j, k);
+  if (row >= target) return false;
+  // Raw half-deficit per endpoint. The row lands within an ulp of the
+  // target; callers certify against (1 - 3 eps) * wHat_k, so the slack is
+  // enormous relative to that rounding.
+  const double half_raw = (target - row) / 2.0 / scale_;
+  const auto ki = static_cast<std::uint64_t>(i) * levels_ + k;
+  const auto kj = static_cast<std::uint64_t>(j) * levels_ + k;
+  xik_.add(ki, half_raw);
+  xik_.add(kj, half_raw);
+  if (xik_.get(ki) > xi_[i]) xi_[i] = xik_.get(ki);
+  if (xik_.get(kj) > xi_[j]) xi_[j] = xik_.get(kj);
+  return true;
+}
+
 void DualState::restore_raw(
     double scale, const std::vector<std::pair<std::uint64_t, double>>& xik,
     const std::vector<double>& xi, const std::vector<OddSetVar>& sets) {

@@ -76,6 +76,14 @@ class DualState {
   /// Blend in an oracle output: state <- (1 - sigma) * state + sigma * p.
   void blend(const DualPoint& p, double sigma);
 
+  /// Feasibility repair for the dynamic re-solve: if cover_row(i, j, k) is
+  /// below `target` (= wHat_k for an inserted edge), raise x_i(k) and
+  /// x_j(k) by equal halves of the deficit so the row reaches the target.
+  /// Only the two endpoint duals move — the deterministic "raise only what
+  /// the delta touched" pass of the warm-start recipe. Returns true iff a
+  /// raise happened.
+  bool raise_cover(Vertex i, Vertex j, int k, double target);
+
   /// Replace the state with a fresh point (used for the initial solution).
   void assign(const DualPoint& p);
 

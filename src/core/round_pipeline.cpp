@@ -52,28 +52,33 @@ void exp_floor_multipliers(ThreadPool* pool, std::size_t grain,
                            double min_ratio, const double* ratio,
                            std::size_t count, const LevelAt& level_at,
                            std::vector<double>& u,
-                           std::vector<double>& partial) {
+                           std::vector<double>& partial,
+                           std::vector<double>& divisor) {
   const std::size_t chunks = count == 0 ? 0 : (count + grain - 1) / grain;
   u.assign(count, 0.0);
   partial.assign(chunks, 0.0);
+  divisor.resize(count);
   double* out = u.data();
   double* part = partial.data();
-  // Three passes per chunk so the exp batch is a pure elementwise sweep
-  // (util/simd): argument fill, exp_batch in place, then the level-weight
-  // divide fused with the exact max reduction. Chunk results depend only on
-  // [lo, hi), so the fixed-grain determinism contract is untouched.
+  double* div = divisor.data();
+  // Three passes per chunk, every one a clones-dispatched elementwise
+  // kernel (util/simd): argument fill, exp_batch in place, then the
+  // level-weight divide fused with the chunk max as a bit-pattern integer
+  // reduction (all quotients are positive). Only the divisor gather stays
+  // scalar — level_at is an indexed load the sweep cannot vectorize.
+  // Chunk results depend only on [lo, hi), so the fixed-grain determinism
+  // contract is untouched, and every kernel is bitwise identical to the
+  // scalar loop it replaced at any lane width.
   run_chunks(pool, 0, count, grain,
              [&](std::size_t c, std::size_t lo, std::size_t hi) {
-               for (std::size_t i = lo; i < hi; ++i) {
-                 out[i] = -alpha * (ratio[i] - min_ratio);
-               }
+               simd::fill_scaled_shift(ratio + lo, out + lo, hi - lo, alpha,
+                                       min_ratio);
                simd::exp_batch(out + lo, out + lo, hi - lo);
-               double local_max = 0;
                for (std::size_t i = lo; i < hi; ++i) {
-                 out[i] /= lg.level_weight(level_at(i));
-                 local_max = std::max(local_max, out[i]);
+                 div[i] = lg.level_weight(level_at(i));
                }
-               part[c] = local_max;
+               part[c] =
+                   simd::divide_max_positive(out + lo, div + lo, hi - lo);
              });
   double u_max = 0;
   for (std::size_t c = 0; c < chunks; ++c) {
@@ -220,7 +225,7 @@ double RoundPipeline::stage_multipliers(double lambda, std::size_t round) {
       pool_, options_.grain, lg, alpha, staged_min_ratio_,
       ctx_.cov_ratio.data(), m,
       [edges](std::size_t idx) { return edges[idx].level; }, ctx_.promise,
-      ctx_.cov_partial);
+      ctx_.cov_partial, ctx_.divisor);
 
   // Inclusion probabilities (sparsify/deferred) over the substrate's
   // edge-typed attribute view; all working memory in reusable scratch.
@@ -418,7 +423,7 @@ void RoundPipeline::covering_us_stored(const DualState& state, double alpha,
   exp_floor_multipliers(
       pool_, grain, lg, alpha, min_ratio, ratio, s,
       [table, idxs](std::size_t i) { return table[idxs[i]].level; }, u,
-      ctx_.cov_partial);
+      ctx_.cov_partial, ctx_.divisor);
 }
 
 void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
@@ -523,18 +528,22 @@ void RoundPipeline::build_zeta(const DualState& state) {
   for (std::size_t c = 0; c < chunks; ++c) {
     max_expo = std::max(max_expo, partial[c]);
   }
-  // Shift / exp_batch / divide as separate elementwise passes so the exp
-  // runs through the vectorizable kernel (util/simd).
+  // Shift / exp_batch / divide as separate elementwise passes, all through
+  // the clones-dispatched kernels (util/simd): alpha = -1 turns the fill
+  // into the plain shift (multiply by exactly 1.0), and the divisor gather
+  // feeds divide_batch. Bitwise identical to the scalar loops.
+  ctx_.divisor.resize(rows);
+  double* div = ctx_.divisor.data();
   run_chunks(pool_, 0, rows, grain,
              [&](std::size_t, std::size_t lo, std::size_t hi) {
-               for (std::size_t r = lo; r < hi; ++r) {
-                 expos[r] -= max_expo;
-               }
+               simd::fill_scaled_shift(expos + lo, expos + lo, hi - lo,
+                                       -1.0, max_expo);
                simd::exp_batch(expos + lo, expos + lo, hi - lo);
                for (std::size_t r = lo; r < hi; ++r) {
                  const int k = static_cast<int>(row_keys[r] % levels);
-                 expos[r] /= 3.0 * lg.level_weight(k);
+                 div[r] = 3.0 * lg.level_weight(k);
                }
+               simd::divide_batch(expos + lo, div + lo, hi - lo);
              });
   ctx_.zeta.clear();
   ctx_.zeta.reserve(rows);

@@ -184,6 +184,7 @@ class RoundPipeline {
     // open_round / Multipliers stage.
     std::vector<double> cov_ratio;    // staged covering ratios
     std::vector<double> cov_partial;  // chunked exact reductions
+    std::vector<double> divisor;      // level-weight gather for the sweeps
     std::vector<double> promise;
     std::vector<double> prob;
     DeferredScratch deferred_scratch;

@@ -6,6 +6,7 @@
 
 #include "access/in_memory.hpp"
 #include "core/certificate.hpp"
+#include "dynamic/delta.hpp"
 #include "core/checkpoint.hpp"
 #include "core/initial.hpp"
 #include "core/round_pipeline.hpp"
@@ -31,7 +32,70 @@ SolverResult Solver::solve(const RoundCheckpoint& resume_from) {
   return solve_impl(&resume_from);
 }
 
-SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
+SolverResult Solver::resolve(const WarmStart& prev,
+                             const dyn::EdgeDelta& delta) {
+  const Graph& g = *g_;
+  const double eps = options_.eps;
+  const double p = std::max(options_.p, 1.01);
+  const auto bits = [](double x) { return std::bit_cast<std::uint64_t>(x); };
+  // Any validation failure falls back to a full from-scratch solve — the
+  // answer is always correct, the fallback only forfeits the saving. The
+  // reason is reported so callers (and the bench) can see WHY warm work
+  // was refused.
+  const auto fallback = [&](std::string why) {
+    DP_INFO("resolve fallback: " << why);
+    SolverResult r = solve_impl(nullptr);
+    r.resolve_fallback = std::move(why);
+    return r;
+  };
+  if (g.num_edges() == 0 || g.num_vertices() == 0) {
+    return fallback("empty post-delta graph");
+  }
+  if (prev.solver_seed != options_.seed || bits(prev.eps) != bits(eps) ||
+      bits(prev.p) != bits(p) || prev.n != g.num_vertices()) {
+    return fallback("solver configuration or vertex count changed");
+  }
+  std::size_t t = options_.sparsifiers_per_round;
+  if (t == 0) {
+    const double gamma =
+        std::pow(static_cast<double>(g.num_vertices()), 1.0 / (2.0 * p));
+    t = static_cast<std::size_t>(
+        std::ceil(std::max(1.0, std::log(gamma)) / eps));
+    t = std::clamp<std::size_t>(t, 2, 24);
+  }
+  t = std::min(t, kMaxSparsifiersPerRound);
+  if (prev.sparsifiers != t) return fallback("sparsifier count changed");
+  const LevelGraph lg(g, b_, eps);
+  if (lg.retained().empty()) return fallback("no retained edges");
+  // The level structure is the coordinate system of the duals: wHat_k and
+  // the per-edge levels are functions of W* = max weight and the level
+  // count. A delta that moves either re-maps every row, so the stale
+  // iterate certifies nothing and repair cannot be local — documented
+  // fallback condition (see src/core/README.md).
+  if (prev.levels != lg.num_levels() ||
+      bits(prev.w_star) != bits(lg.w_star())) {
+    return fallback("level structure changed (W* or level count)");
+  }
+  // Shape validation, as for checkpoints: the raw iterate drives unchecked
+  // dense writes in restore_raw.
+  const std::uint64_t key_bound =
+      static_cast<std::uint64_t>(g.num_vertices()) * lg.num_levels();
+  bool shape_ok = prev.xi.size() == g.num_vertices();
+  for (const auto& [key, value] : prev.xik) {
+    shape_ok = shape_ok && key < key_bound;
+  }
+  for (const OddSetVar& var : prev.odd_sets) {
+    for (const Vertex v : var.members) {
+      shape_ok = shape_ok && v < g.num_vertices();
+    }
+  }
+  if (!shape_ok) return fallback("malformed warm-start handle");
+  return solve_impl(nullptr, &prev, &delta);
+}
+
+SolverResult Solver::solve_impl(const RoundCheckpoint* resume,
+                                const WarmStart* warm,
+                                const dyn::EdgeDelta* delta) {
   const Graph& g = *g_;
   SolverResult result;
   result.b_matching = BMatching(g.num_edges());
@@ -135,7 +199,50 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
   inc.best = BMatching(g.num_edges());
   std::size_t start_round = 0;
 
-  if (resume == nullptr) {
+  if (warm != nullptr) {
+    // ---- Warm start (duals-as-predictions, resolve()): restore the
+    // previous solve's final dual iterate and repair feasibility on
+    // exactly the rows the delta touched. Unchanged retained edges keep
+    // their covering rows bitwise (restore_raw is exact and the level
+    // structure was validated identical); deleted edges only REMOVE rows,
+    // which cannot lower any surviving row; so the only possible deficits
+    // are the inserted edges' rows, each raised here to its full wHat_k
+    // (row ratio 1.0 >= lambda). If the previous solve certified
+    // lambda_prev >= 1 - 3 eps, the repaired iterate re-certifies at the
+    // round loop's FIRST opening sweep — zero MW rounds, one pass. ----
+    state.restore_raw(warm->dual_scale, warm->xik, warm->xi,
+                      warm->odd_sets);
+    std::size_t repaired = 0;
+    for (const dyn::EdgeInsert& ins : dyn::normalize(*delta).inserts) {
+      // Locate the inserted edge(s) in the post-delta graph; edges the
+      // discretization dropped (level < 0) have no covering row.
+      for (const Graph::Incidence& inc_edge : g.neighbors(ins.u)) {
+        if (inc_edge.neighbor != ins.v) continue;
+        const int k = lg.level(inc_edge.edge);
+        if (k < 0) continue;
+        if (state.raise_cover(ins.u, ins.v, k, lg.level_weight(k))) {
+          ++repaired;
+        }
+      }
+    }
+    result.meter.add_repaired_rows(repaired);
+    // Re-anchor the incumbent on the post-delta graph: ONE canonical
+    // offline solve over the full retained set (ids ascending = retained
+    // order — a pure function of the graph, independent of the churn
+    // history). beta restarts from the floor and is raised by the merge;
+    // the previous solve's primal support is NOT reused (edge ids do not
+    // survive re-materialization). One pass over the input, charged.
+    inc.beta = 1e-12;
+    std::vector<Edge> retained_edges;
+    retained_edges.reserve(retained.size());
+    for (EdgeId e : retained) retained_edges.push_back(g.edge(e));
+    result.meter.add_pass();
+    result.meter.store_edges(retained_edges.size());
+    pipeline.merge_offline(pipeline.solve_offline(retained, retained_edges),
+                           inc);
+    result.meter.release_edges(retained_edges.size());
+    result.warm_resolve = true;
+  } else if (resume == nullptr) {
     // ---- Initial dual solution (Lemma 12) and best primal so far:
     // offline on the initial support. ----
     Rng rng(options_.seed);
@@ -161,6 +268,17 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
         && resume->n == g.num_vertices() && resume->m == g.num_edges()
         && resume->retained == retained.size()
         && resume->levels == lg.num_levels();
+    // Generation first, with its own message: a checkpoint cut before an
+    // edge delta can pass every shape field (remove+insert preserves n, m
+    // AND the retained count), and "stale" is actionable for the caller in
+    // a way "mismatch" is not.
+    if (identity_ok &&
+        resume->graph_generation != options_.graph_generation) {
+      throw ConfigError(
+          "resume checkpoint predates an edge delta (stale graph "
+          "generation); re-solve or use Solver::resolve",
+          {"solver.resume", resume->graph_generation});
+    }
     if (!identity_ok) {
       throw ConfigError(
           "resume checkpoint does not match this solve configuration and "
@@ -229,6 +347,7 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
     ck->m = g.num_edges();
     ck->retained = retained.size();
     ck->levels = lg.num_levels();
+    ck->graph_generation = options_.graph_generation;
     ck->next_round = next_round;
     ck->outer_rounds = result.outer_rounds;
     ck->oracle_calls = result.oracle_calls;
@@ -277,6 +396,20 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
                      << " stored=" << pending.rep.stored_edges);
   };
 
+  // Stopping bar of the outer loop. A warm re-solve stops as soon as the
+  // exact-lambda certificate RE-ATTAINS the level the previous solve
+  // reached (capped by the 1 - 3 eps rule): the repaired iterate keeps
+  // every unchanged row's ratio bitwise, deletes only remove rows, and
+  // inserted rows are raised to ratio 1 — so lambda_repaired >=
+  // lambda_prev and the first opening sweep re-certifies with ZERO MW
+  // rounds. The final certificate below is evaluated on the state as it
+  // stands either way (objective/lambda is feasible at any lambda > 0),
+  // so the early stop never weakens soundness.
+  double stop_bar = 1.0 - 3.0 * eps;
+  if (warm != nullptr && warm->lambda > 0) {
+    stop_bar = std::min(stop_bar, warm->lambda);
+  }
+
   bool lambda_fresh = false;
   for (std::size_t round = start_round; round < max_rounds; ++round) {
     // Safe point: the round-loop top. Nothing of round `round` has run, so
@@ -310,7 +443,7 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
     finalize_pending();
     result.lambda = lambda;
     lambda_fresh = true;
-    if (lambda >= 1.0 - 3.0 * eps) break;
+    if (lambda >= stop_bar) break;
     if (options_.target_ratio > 0 && inc.value > 0 && lambda > 0) {
       const double bound = state.objective(b_) / lambda;
       const double bound_orig =
@@ -414,6 +547,53 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume) {
   // shuffle volume) folds into the solve meter; per-substrate inspection
   // stays available on the substrate itself.
   result.meter.merge(substrate->meter());
+
+  // Warm-path savings, measured against the cost of the solve that
+  // produced the handle — the o(full-solve) claim as first-class counters.
+  if (warm != nullptr) {
+    if (warm->outer_rounds > result.outer_rounds) {
+      result.meter.add_saved_rounds(warm->outer_rounds -
+                                    result.outer_rounds);
+    }
+    if (warm->passes > result.meter.passes()) {
+      result.meter.add_saved_passes(warm->passes - result.meter.passes());
+    }
+  }
+
+  // Emit the warm-start handle: every solve's final dual iterate seeds the
+  // next resolve(). Cheap relative to the solve (one copy of the sparse
+  // iterate), and emitted on anytime results too — a partially converged
+  // dual is still a valid prediction, it just re-certifies later.
+  {
+    auto handle = std::make_shared<WarmStart>();
+    handle->solver_seed = options_.seed;
+    handle->eps = eps;
+    handle->p = p;
+    handle->sparsifiers = t;
+    handle->n = g.num_vertices();
+    handle->levels = lg.num_levels();
+    handle->w_star = lg.w_star();
+    handle->graph_generation = options_.graph_generation;
+    handle->dual_scale = state.scale();
+    const FlatDuals& xik = state.raw_xik();
+    handle->xik.reserve(xik.active_count());
+    for (const std::uint64_t key : xik.active()) {
+      handle->xik.emplace_back(key, xik.get(key));
+    }
+    handle->xi = state.raw_xi();
+    handle->odd_sets = state.odd_sets();
+    handle->lambda = result.lambda;
+    // Saved-work baseline: a chained resolve should keep measuring against
+    // the cost of a FULL solve, not against the previous (already cheap)
+    // warm hop — so a warm result carries the baseline forward.
+    handle->outer_rounds =
+        warm != nullptr ? std::max(result.outer_rounds, warm->outer_rounds)
+                        : result.outer_rounds;
+    handle->passes = warm != nullptr
+                         ? std::max(result.meter.passes(), warm->passes)
+                         : result.meter.passes();
+    result.warm = std::move(handle);
+  }
 
   // Plain matching view for unit capacities.
   if (unit_caps) {

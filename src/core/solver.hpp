@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dual_state.hpp"
 #include "core/oracle.hpp"
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
@@ -47,6 +48,10 @@
 
 namespace dp::access {
 class Substrate;
+}
+
+namespace dp::dyn {
+struct EdgeDelta;  // dynamic/delta.hpp
 }
 
 namespace dp::core {
@@ -139,6 +144,12 @@ struct SolverOptions {
   /// safe points. Expiry returns the anytime result (kDeadline). Use a
   /// FakeClock to make deadline behaviour deterministic in tests.
   Deadline deadline;
+  /// Mutation generation of the graph this solve runs against (a
+  /// DynamicGraph's delta counter; 0 for static graphs). Part of the
+  /// checkpoint identity: a checkpoint cut before a delta is a typed
+  /// rejection on resume, never a silent wrong-graph solve — n, m and even
+  /// the retained count can all survive a remove+insert delta unchanged.
+  std::uint64_t graph_generation = 0;
 };
 
 struct RoundStats {
@@ -148,6 +159,36 @@ struct RoundStats {
   double best_value = 0;  // original weights
   std::size_t stored_edges = 0;
   std::size_t oracle_calls = 0;
+};
+
+/// Warm-start handle emitted by every solve: the final dual iterate plus
+/// the identity of the configuration/instance it certifies. This is the
+/// "learned duals" seed for Solver::resolve after an edge delta — the
+/// duals transfer because unchanged covering rows keep their values
+/// bitwise when the level structure (W*, L) is preserved; deletes only
+/// remove rows; and inserted rows are repaired locally. It deliberately
+/// carries NO primal support: edge ids change across canonical
+/// re-materializations, so the incumbent is re-anchored by an offline
+/// solve on the post-delta graph instead.
+struct WarmStart {
+  // -- Identity (validated by resolve; mismatch falls back to scratch). --
+  std::uint64_t solver_seed = 0;
+  double eps = 0;
+  double p = 0;
+  std::uint64_t sparsifiers = 0;  // resolved t
+  std::uint64_t n = 0;
+  std::int32_t levels = 0;
+  double w_star = 0;  // level-structure fingerprint (bit compare)
+  std::uint64_t graph_generation = 0;
+  // -- The dual iterate (DualState::restore_raw inputs). --
+  double dual_scale = 1.0;
+  std::vector<std::pair<std::uint64_t, double>> xik;  // activation order
+  std::vector<double> xi;
+  std::vector<OddSetVar> odd_sets;
+  double lambda = 0;  // certificate level the iterate reached
+  // -- Cost of the solve that produced it (saved-work baselines). --
+  std::size_t outer_rounds = 0;
+  std::size_t passes = 0;
 };
 
 struct SolverResult {
@@ -182,6 +223,13 @@ struct SolverResult {
   /// bitwise-identically; null when the solve ran to completion (or
   /// stopped before round 1).
   std::shared_ptr<const RoundCheckpoint> checkpoint;
+  /// Warm-start handle for Solver::resolve after the next edge delta.
+  std::shared_ptr<const WarmStart> warm;
+  /// True iff this result came from resolve()'s warm path (restored duals
+  /// + feasibility repair) rather than a from-scratch round loop.
+  bool warm_resolve = false;
+  /// Why resolve() fell back to a from-scratch solve ("" = it didn't).
+  std::string resolve_fallback;
 };
 
 class Solver {
@@ -197,8 +245,26 @@ class Solver {
   /// Resume from `resume_from` (overrides SolverOptions::resume_from).
   SolverResult solve(const RoundCheckpoint& resume_from);
 
+  /// Incremental re-solve after edge churn. The solver's graph must be the
+  /// POST-delta graph; `prev` is the warm handle of a solve on the
+  /// pre-delta graph and `delta` the net effective churn between the two
+  /// (DynamicGraph::delta_since). Seeds the dual state from `prev` via
+  /// restore_raw, runs the deterministic feasibility-repair pass (raise
+  /// only the covering rows of inserted edges), re-anchors the incumbent
+  /// with one canonical offline solve, then iterates MW rounds with the
+  /// existing round pipeline until the exact-lambda certificate
+  /// re-certifies — zero rounds when the repaired iterate still clears the
+  /// 1 - 3 eps bar. Falls back to a from-scratch solve (with
+  /// SolverResult::resolve_fallback saying why) when the warm identity
+  /// does not transfer: changed configuration, changed vertex count, or a
+  /// delta that moved the level structure (W* / level count), under which
+  /// the stale duals certify nothing.
+  SolverResult resolve(const WarmStart& prev, const dyn::EdgeDelta& delta);
+
  private:
-  SolverResult solve_impl(const RoundCheckpoint* resume);
+  SolverResult solve_impl(const RoundCheckpoint* resume,
+                          const WarmStart* warm = nullptr,
+                          const dyn::EdgeDelta* delta = nullptr);
 
   const Graph* g_;
   Capacities b_;

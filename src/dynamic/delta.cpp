@@ -1,0 +1,50 @@
+#include "dynamic/delta.hpp"
+
+#include <algorithm>
+
+namespace dp::dyn {
+
+NormalizedDelta normalize(const EdgeDelta& delta) {
+  NormalizedDelta out;
+
+  out.remove_keys.reserve(delta.removes.size());
+  for (const EdgeRemove& r : delta.removes) {
+    if (r.u == r.v) {
+      ++out.dropped_self_loops;
+      continue;
+    }
+    out.remove_keys.push_back(edge_key(r.u, r.v));
+  }
+  std::sort(out.remove_keys.begin(), out.remove_keys.end());
+  const auto rlast =
+      std::unique(out.remove_keys.begin(), out.remove_keys.end());
+  out.duplicate_removes =
+      static_cast<std::size_t>(out.remove_keys.end() - rlast);
+  out.remove_keys.erase(rlast, out.remove_keys.end());
+
+  out.inserts.reserve(delta.inserts.size());
+  for (const EdgeInsert& e : delta.inserts) {
+    if (e.u == e.v) {
+      ++out.dropped_self_loops;
+      continue;
+    }
+    const Vertex lo = e.u < e.v ? e.u : e.v;
+    const Vertex hi = e.u < e.v ? e.v : e.u;
+    out.inserts.push_back(EdgeInsert{lo, hi, e.w});
+  }
+  // Stable sort + first-wins dedup: within a batch the first insert of an
+  // endpoint pair is the one that applies, repeats are only counted.
+  std::stable_sort(out.inserts.begin(), out.inserts.end(),
+                   [](const EdgeInsert& a, const EdgeInsert& b) {
+                     return edge_key(a.u, a.v) < edge_key(b.u, b.v);
+                   });
+  auto ilast = std::unique(out.inserts.begin(), out.inserts.end(),
+                           [](const EdgeInsert& a, const EdgeInsert& b) {
+                             return edge_key(a.u, a.v) == edge_key(b.u, b.v);
+                           });
+  out.duplicate_inserts = static_cast<std::size_t>(out.inserts.end() - ilast);
+  out.inserts.erase(ilast, out.inserts.end());
+  return out;
+}
+
+}  // namespace dp::dyn

@@ -17,6 +17,7 @@ const char* response_status_name(ResponseStatus status) noexcept {
     case ResponseStatus::kShed: return "shed";
     case ResponseStatus::kNotFound: return "not_found";
     case ResponseStatus::kNotReady: return "not_ready";
+    case ResponseStatus::kStaleResume: return "stale_resume";
     case ResponseStatus::kError: return "error";
   }
   return "?";
@@ -67,8 +68,17 @@ std::size_t MatchingService::add_snapshot(Graph g) {
 }
 
 std::size_t MatchingService::add_snapshot(Graph g, Capacities b) {
+  return add_snapshot(std::move(g), std::move(b), dyn::DynamicGraphOptions{});
+}
+
+std::size_t MatchingService::add_snapshot(Graph g, Capacities b,
+                                          dyn::DynamicGraphOptions dopt) {
   auto snap = std::make_shared<Snapshot>();
-  snap->g = std::move(g);
+  snap->dyn_graph = std::make_unique<dyn::DynamicGraph>(std::move(g), dopt);
+  // Generation 0 materializes to the base graph unchanged, so existing
+  // delta-free snapshots behave bitwise as before.
+  snap->current = snap->dyn_graph->materialize();
+  snap->generation = snap->dyn_graph->generation();
   snap->b = std::move(b);
   std::lock_guard<std::mutex> lock(snapshots_mu_);
   snapshots_.push_back(std::move(snap));
@@ -196,12 +206,80 @@ Response MatchingService::execute(const Pending& p, WorkerSlot& slot) {
     return r;
   }
   if (is_solve_class(p.req.type)) return execute_solve(p, slot, snap);
+  if (p.req.type == RequestType::kApplyDelta) {
+    return execute_apply_delta(p, snap);
+  }
   return execute_probe(p, snap);
+}
+
+Response MatchingService::execute_apply_delta(
+    const Pending& p, const std::shared_ptr<Snapshot>& snap) {
+  Response r;
+  if (p.req.delta == nullptr) {
+    r.status = ResponseStatus::kError;
+    r.detail = "apply-delta request without a delta";
+    return r;
+  }
+  try {
+    std::lock_guard<std::mutex> lock(snap->mu);
+    const dyn::DeltaSummary s = snap->dyn_graph->apply(*p.req.delta);
+    snap->current = snap->dyn_graph->materialize();
+    snap->generation = snap->dyn_graph->generation();
+    r.status = ResponseStatus::kOk;
+    r.generation = s.generation;
+    r.detail = "inserted=" + std::to_string(s.inserted) +
+               " removed=" + std::to_string(s.removed) +
+               " duplicate_inserts=" + std::to_string(s.duplicate_inserts) +
+               " phantom_removes=" + std::to_string(s.phantom_removes);
+  } catch (const SolverError& err) {
+    // Typed rejection (e.g. endpoint out of range): the snapshot is
+    // untouched and the worker survives.
+    r.status = ResponseStatus::kError;
+    r.detail = err.what();
+    return r;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.deltas_applied;
+  return r;
 }
 
 Response MatchingService::execute_solve(
     const Pending& p, WorkerSlot& slot,
     const std::shared_ptr<Snapshot>& snap) {
+  // Pin the snapshot's current materialization (and warm handle / pending
+  // delta for kResolve) under the snapshot mutex; the solve itself runs on
+  // the pinned immutable Graph, never racing a concurrent apply-delta.
+  std::shared_ptr<const Graph> graph;
+  std::shared_ptr<const core::WarmStart> warm;
+  dyn::EdgeDelta delta;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(snap->mu);
+    graph = snap->current;
+    generation = snap->generation;
+    if (p.req.type == RequestType::kResolve && snap->warm != nullptr) {
+      warm = snap->warm;
+      delta = snap->dyn_graph->delta_since(warm->graph_generation);
+    }
+  }
+
+  if (p.req.resume != nullptr &&
+      p.req.resume->graph_generation != generation) {
+    // Typed rejection BEFORE any solver work: the checkpoint was minted
+    // against a graph that a delta has since mutated; resuming its round
+    // state would silently mix two graphs. (Solver::solve re-checks this
+    // identity field, so the guard holds at both layers.)
+    Response r;
+    r.status = ResponseStatus::kStaleResume;
+    r.generation = generation;
+    r.detail = "resume checkpoint generation " +
+               std::to_string(p.req.resume->graph_generation) +
+               " predates snapshot generation " + std::to_string(generation);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.stale_resumes;
+    return r;
+  }
+
   core::SolverOptions opt = options_.solver;
   // One solve per worker on the service's own in-memory substrate — a
   // caller-supplied substrate cannot be shared by concurrent sessions.
@@ -212,6 +290,7 @@ Response MatchingService::execute_solve(
                      ? Deadline{clock_, p.deadline_abs_us}
                      : Deadline{};
   opt.resume_from = p.req.resume.get();
+  opt.graph_generation = generation;
   // Round progress feeds the watchdog; the hook never interrupts.
   opt.on_checkpoint = [this, &slot](const core::RoundCheckpoint&) {
     slot.last_progress_us.store(clock().now_us(), std::memory_order_relaxed);
@@ -231,11 +310,24 @@ Response MatchingService::execute_solve(
     const bool with_caps =
         p.req.type == RequestType::kBMatch && !snap->b.empty();
     core::Solver solver =
-        with_caps ? core::Solver(snap->g, snap->b, opt)
-                  : core::Solver(snap->g, opt);
-    core::SolverResult result = solver.solve();
+        with_caps ? core::Solver(*graph, snap->b, opt)
+                  : core::Solver(*graph, opt);
+    core::SolverResult result =
+        (p.req.type == RequestType::kResolve && warm != nullptr)
+            ? solver.resolve(*warm, delta)
+            : solver.solve();
 
     r.solver_status = result.status;
+    r.generation = generation;
+    r.warm_resolve = result.warm_resolve;
+    if (p.req.type == RequestType::kResolve) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (result.warm_resolve) {
+        ++stats_.resolves_warm;
+      } else {
+        ++stats_.resolves_scratch;
+      }
+    }
     r.certified = true;  // the solver's answer is always certificate-backed
     r.value = result.value;
     r.certified_ratio = result.certified_ratio;
@@ -243,6 +335,13 @@ Response MatchingService::execute_solve(
     r.rounds_executed = result.outer_rounds;
     r.checkpoint = result.checkpoint;
     r.detail = result.fault_detail;
+    if (p.req.type == RequestType::kResolve && r.detail.empty()) {
+      if (warm == nullptr) {
+        r.detail = "no warm handle; full solve";
+      } else if (!result.resolve_fallback.empty()) {
+        r.detail = "fallback: " + result.resolve_fallback;
+      }
+    }
     switch (result.status) {
       case core::SolverStatus::kComplete:
       case core::SolverStatus::kInterrupted:
@@ -266,7 +365,7 @@ Response MatchingService::execute_solve(
       // Publish the certified solution for probes: packed sorted edge
       // keys of the positive-multiplicity support.
       auto art = std::make_shared<Artifact>();
-      const auto& edges = snap->g.edges();
+      const auto& edges = graph->edges();
       for (EdgeId e = 0; e < result.b_matching.num_edges(); ++e) {
         if (result.b_matching.multiplicity(e) > 0) {
           art->matched_keys.push_back(edge_key(edges[e].u, edges[e].v));
@@ -279,6 +378,13 @@ Response MatchingService::execute_solve(
       std::lock_guard<std::mutex> lock(snap->mu);
       art->version = (snap->latest ? snap->latest->version : 0) + 1;
       snap->latest = std::move(art);
+      // Retain the newest warm-start handle for future kResolve requests —
+      // never let a solve for an older generation clobber a newer handle.
+      if (result.warm != nullptr &&
+          (snap->warm == nullptr ||
+           snap->warm->graph_generation <= generation)) {
+        snap->warm = result.warm;
+      }
     }
   } catch (const SolverError& err) {
     // Typed rejection: a malformed request (e.g. a resume handle from a

@@ -8,9 +8,24 @@
 //   kSolve / kBMatch   run the dual-primal solver on a snapshot (unit or
 //                      stored capacities), optionally warm-resuming from a
 //                      RoundCheckpoint carried by the request;
+//   kApplyDelta        mutate a snapshot's dynamic graph with a batched
+//                      edge delta (insert/delete/reweight); bumps the
+//                      snapshot's generation counter;
+//   kResolve           incremental re-solve after deltas: seeds the solver
+//                      from the snapshot's retained warm-start handle
+//                      (Solver::resolve) when one exists, full solve
+//                      otherwise;
 //   kProbeEdge         is edge (u, v) in the snapshot's latest certified
 //                      matching?
 //   kProbeRatio        the latest certified ratio/value for a snapshot.
+//
+// Dynamic snapshots: every snapshot wraps its graph in a dyn::DynamicGraph.
+// Deltas apply under the snapshot mutex; solve-class requests pin the
+// current canonical materialization (a shared_ptr<const Graph>) for the
+// whole solve, so an apply racing a solve never mutates the graph a solver
+// is reading — the solve just answers for the generation it pinned. A
+// resume checkpoint minted before a delta is rejected typed (kStaleResume)
+// instead of silently resuming against a mutated graph.
 //
 // Robustness model (the ISSUE's three layers above the solver's own
 // cancellation support):
@@ -50,6 +65,7 @@
 #include <vector>
 
 #include "core/solver.hpp"
+#include "dynamic/dynamic_graph.hpp"
 #include "graph/graph.hpp"
 #include "matching/matching.hpp"
 #include "util/cancel.hpp"
@@ -61,6 +77,8 @@ namespace dp::serve {
 enum class RequestType : std::uint8_t {
   kSolve,       // full solve, unit capacities
   kBMatch,      // full solve on the snapshot's stored capacities
+  kApplyDelta,  // apply a batched edge delta to the snapshot's graph
+  kResolve,     // incremental re-solve from the retained warm-start handle
   kProbeEdge,   // membership of (u, v) in the latest certified matching
   kProbeRatio,  // latest certified ratio / value
 };
@@ -73,6 +91,7 @@ enum class ResponseStatus : std::uint8_t {
   kShed,      // admission control rejected the request (typed; retry_after)
   kNotFound,  // unknown snapshot id (typed)
   kNotReady,  // probe before any certified solve exists (typed; retry_after)
+  kStaleResume,  // resume checkpoint predates an applied delta (typed)
   kError,     // solver rejected the request (typed; e.g. bad resume handle)
 };
 
@@ -94,8 +113,11 @@ struct Request {
   /// too = no deadline). Armed as an absolute instant at submit.
   std::uint64_t deadline_us = 0;
   /// Warm-resume handle from a previous anytime response (same snapshot
-  /// and solver configuration).
+  /// and solver configuration). Rejected typed (kStaleResume) if a delta
+  /// landed on the snapshot after the checkpoint was minted.
   std::shared_ptr<const core::RoundCheckpoint> resume;
+  /// Batched edge delta (kApplyDelta).
+  std::shared_ptr<const dyn::EdgeDelta> delta;
   /// Probe endpoints (kProbeEdge).
   Vertex u = 0;
   Vertex v = 0;
@@ -116,6 +138,12 @@ struct Response {
   double lambda = 0;
   std::size_t rounds_executed = 0;
   bool edge_in_matching = false;
+  /// Snapshot generation the answer applies to (kApplyDelta: the new
+  /// generation after the delta; solve-class: the generation solved).
+  std::uint64_t generation = 0;
+  /// True when a kResolve was answered by the warm-started incremental
+  /// path rather than a from-scratch solve.
+  bool warm_resolve = false;
   /// For kShed / kNotReady: suggested backoff before resubmitting.
   std::uint64_t retry_after_us = 0;
   /// Warm-resume handle when a solve stopped early (deadline / stall /
@@ -183,6 +211,10 @@ struct ServiceStats {
   std::uint64_t not_found = 0;
   std::uint64_t not_ready = 0;
   std::uint64_t resumed = 0;  // solve-class requests with a resume handle
+  std::uint64_t deltas_applied = 0;   // kApplyDelta requests answered kOk
+  std::uint64_t resolves_warm = 0;    // kResolve answered by the warm path
+  std::uint64_t resolves_scratch = 0;  // kResolve that fell back to scratch
+  std::uint64_t stale_resumes = 0;    // typed kStaleResume rejections
 };
 
 class MatchingService {
@@ -193,9 +225,13 @@ class MatchingService {
   MatchingService(const MatchingService&) = delete;
   MatchingService& operator=(const MatchingService&) = delete;
 
-  /// Register an immutable snapshot; returns its id. Safe while serving.
+  /// Register a snapshot; returns its id. Safe while serving. The graph
+  /// becomes the generation-0 base of a dynamic graph (delta-log backing
+  /// by default; pass DynamicGraphOptions to choose sketch backing).
   std::size_t add_snapshot(Graph g);
   std::size_t add_snapshot(Graph g, Capacities b);
+  std::size_t add_snapshot(Graph g, Capacities b,
+                           dyn::DynamicGraphOptions dopt);
 
   /// Non-blocking admission: either enqueues the request (ticket resolves
   /// when a worker answers) or resolves the ticket inline with a typed
@@ -227,10 +263,19 @@ class MatchingService {
   };
 
   struct Snapshot {
-    Graph g;
+    /// The mutable dynamic graph (delta log or sketch backed). Guarded by
+    /// mu — DynamicGraph is not internally synchronized.
+    std::unique_ptr<dyn::DynamicGraph> dyn_graph;
     Capacities b;  // empty = unit capacities only
     mutable std::mutex mu;
+    /// Pinned canonical materialization of dyn_graph at `generation`.
+    /// Solve-class requests copy the shared_ptr under mu and read the
+    /// Graph lock-free for the whole solve.
+    std::shared_ptr<const Graph> current;
+    std::uint64_t generation = 0;
     std::shared_ptr<const Artifact> latest;
+    /// Warm-start handle of the newest certified solve (seeds kResolve).
+    std::shared_ptr<const core::WarmStart> warm;
   };
 
   struct Pending {
@@ -256,11 +301,14 @@ class MatchingService {
                          const std::shared_ptr<Snapshot>& snap);
   Response execute_probe(const Pending& p,
                          const std::shared_ptr<Snapshot>& snap);
+  Response execute_apply_delta(const Pending& p,
+                               const std::shared_ptr<Snapshot>& snap);
   std::shared_ptr<Snapshot> find_snapshot(std::size_t id) const;
   static void publish(const std::shared_ptr<ResponseTicket::State>& state,
                       Response r);
   static bool is_solve_class(RequestType t) noexcept {
-    return t == RequestType::kSolve || t == RequestType::kBMatch;
+    return t == RequestType::kSolve || t == RequestType::kBMatch ||
+           t == RequestType::kResolve;
   }
 
   const Clock& clock() const noexcept { return *clock_; }

@@ -2,34 +2,50 @@
 
 namespace dp {
 
-AgmSketch::AgmSketch(const Graph& g, const L0SamplerSeed& seed,
+AgmSketch::AgmSketch(std::size_t n, const L0SamplerSeed& seed,
                      ResourceMeter* meter)
-    : n_(g.num_vertices()) {
+    : n_(n) {
   per_vertex_.reserve(n_);
   for (std::size_t v = 0; v < n_; ++v) per_vertex_.emplace_back(seed);
+  if (meter != nullptr) meter->add_sketch_words(words());
+}
+
+AgmSketch::AgmSketch(const Graph& g, const L0SamplerSeed& seed,
+                     ResourceMeter* meter)
+    : AgmSketch(g.num_vertices(), seed) {
+  apply(g.edges(), +1);
+  if (meter != nullptr) meter->add_sketch_words(words());
+}
+
+void AgmSketch::apply(std::span<const Edge> edges, int sign,
+                      ResourceMeter* meter) {
   // Group the incidence updates by vertex (CSR) and apply one batch per
   // vertex: update_batch hashes each rep's family once across the vertex's
   // whole incidence list while that vertex's cells stay cache-resident.
   std::vector<std::uint32_t> offset(n_ + 1, 0);
-  for (const Edge& e : g.edges()) {
+  for (const Edge& e : edges) {
     ++offset[e.u + 1];
     ++offset[e.v + 1];
   }
   for (std::size_t v = 0; v < n_; ++v) offset[v + 1] += offset[v];
   std::vector<SketchUpdate> updates(offset[n_]);
   std::vector<std::uint32_t> cursor(offset.begin(), offset.end() - 1);
-  for (const Edge& e : g.edges()) {
+  const auto d = static_cast<std::int64_t>(sign);
+  for (const Edge& e : edges) {
     const Vertex lo = e.u < e.v ? e.u : e.v;
     const Vertex hi = e.u < e.v ? e.v : e.u;
     const std::uint64_t index = static_cast<std::uint64_t>(lo) * n_ + hi;
-    updates[cursor[lo]++] = SketchUpdate{index, +1};
-    updates[cursor[hi]++] = SketchUpdate{index, -1};
+    updates[cursor[lo]++] = SketchUpdate{index, +d};
+    updates[cursor[hi]++] = SketchUpdate{index, -d};
   }
+  std::size_t touched_words = 0;
   for (std::size_t v = 0; v < n_; ++v) {
+    if (offset[v] == offset[v + 1]) continue;
     per_vertex_[v].update_batch(
         {updates.data() + offset[v], updates.data() + offset[v + 1]});
+    touched_words += per_vertex_[v].words();
   }
-  if (meter != nullptr) meter->add_sketch_words(words());
+  if (meter != nullptr) meter->add_sketch_words(touched_words);
 }
 
 std::optional<SampledEdge> AgmSketch::decode(

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,6 +33,26 @@ class AgmSketch {
   /// one sketch word per word of state (congested clique accounting).
   AgmSketch(const Graph& g, const L0SamplerSeed& seed,
             ResourceMeter* meter = nullptr);
+
+  /// Empty sketch over n vertices (zero edge vector). The dynamic-graph
+  /// substrate starts here and feeds churn through apply(): sketches are
+  /// linear, so inserts and deletes are the same operation up to sign.
+  AgmSketch(std::size_t n, const L0SamplerSeed& seed,
+            ResourceMeter* meter = nullptr);
+
+  /// Apply a batch of edge updates with the given sign (+1 insert, -1
+  /// delete). Updates are CSR-grouped per vertex exactly like construction,
+  /// so apply(edges, +1) on an empty sketch is bitwise identical to
+  /// building from the graph. `meter`, if given, is charged the touched
+  /// sketch words (each endpoint's full sampler state per batch).
+  void apply(std::span<const Edge> edges, int sign,
+             ResourceMeter* meter = nullptr);
+
+  /// Exact state equality (same seed family assumed). Linearity makes this
+  /// the churn-mirror test: base + deltas == sketch of the mutated graph.
+  friend bool operator==(const AgmSketch& a, const AgmSketch& b) noexcept {
+    return a.n_ == b.n_ && a.per_vertex_ == b.per_vertex_;
+  }
 
   std::size_t num_vertices() const noexcept { return n_; }
 

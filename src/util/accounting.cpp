@@ -20,6 +20,9 @@ void ResourceMeter::merge(const ResourceMeter& other) noexcept {
   gh_full_builds_ += other.gh_full_builds_;
   gh_incremental_ += other.gh_incremental_;
   gh_tree_reuses_ += other.gh_tree_reuses_;
+  saved_rounds_ += other.saved_rounds_;
+  saved_passes_ += other.saved_passes_;
+  repaired_rows_ += other.repaired_rows_;
 }
 
 std::string ResourceMeter::summary() const {
@@ -30,7 +33,9 @@ std::string ResourceMeter::summary() const {
      << " oracle_calls=" << oracle_calls_ << " faults=" << faults_
      << " max_flows=" << max_flows_ << " flows_saved=" << max_flows_saved_
      << " gh_builds=" << gh_full_builds_ << "/" << gh_incremental_ << "/"
-     << gh_tree_reuses_;
+     << gh_tree_reuses_ << " saved_rounds=" << saved_rounds_
+     << " saved_passes=" << saved_passes_
+     << " repaired_rows=" << repaired_rows_;
   return os.str();
 }
 

@@ -75,6 +75,14 @@ class ResourceMeter {
   void add_gh_incremental(std::size_t k) noexcept { gh_incremental_ += k; }
   void add_gh_tree_reuses(std::size_t k) noexcept { gh_tree_reuses_ += k; }
 
+  /// Dynamic re-solve accounting: MW rounds and substrate passes the
+  /// warm-started path did NOT pay relative to the previous solve's cost,
+  /// plus covering rows raised by the feasibility-repair pass — the
+  /// o(full-solve) claim made observable as first-class counters.
+  void add_saved_rounds(std::size_t k) noexcept { saved_rounds_ += k; }
+  void add_saved_passes(std::size_t k) noexcept { saved_passes_ += k; }
+  void add_repaired_rows(std::size_t k) noexcept { repaired_rows_ += k; }
+
   std::size_t rounds() const noexcept { return rounds_; }
   std::size_t passes() const noexcept { return passes_; }
   std::size_t stored_edges() const noexcept { return stored_edges_; }
@@ -89,6 +97,9 @@ class ResourceMeter {
   std::size_t gh_full_builds() const noexcept { return gh_full_builds_; }
   std::size_t gh_incremental() const noexcept { return gh_incremental_; }
   std::size_t gh_tree_reuses() const noexcept { return gh_tree_reuses_; }
+  std::size_t saved_rounds() const noexcept { return saved_rounds_; }
+  std::size_t saved_passes() const noexcept { return saved_passes_; }
+  std::size_t repaired_rows() const noexcept { return repaired_rows_; }
 
   void reset() noexcept { *this = ResourceMeter{}; }
 
@@ -113,6 +124,9 @@ class ResourceMeter {
   std::size_t gh_full_builds_ = 0;
   std::size_t gh_incremental_ = 0;
   std::size_t gh_tree_reuses_ = 0;
+  std::size_t saved_rounds_ = 0;
+  std::size_t saved_passes_ = 0;
+  std::size_t repaired_rows_ = 0;
 };
 
 }  // namespace dp

@@ -102,4 +102,32 @@ bool vectorized_exp() noexcept {
 #endif
 }
 
+DP_SIMD_CLONES
+void fill_scaled_shift(const double* x, double* out, std::size_t n,
+                       double alpha, double shift) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = -alpha * (x[i] - shift);
+}
+
+DP_SIMD_CLONES
+void divide_batch(double* out, const double* div, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] /= div[i];
+}
+
+DP_SIMD_CLONES
+double divide_max_positive(double* out, const double* div, std::size_t n) {
+  // All-positive quotients order like their bit patterns read as signed
+  // i64 (sign bit clear), so the reduction is a plain integer max — which
+  // GCC vectorizes under strict FP semantics (vpcmpgtq+blend on AVX2,
+  // vpmaxsq on AVX-512), unlike an FP max reduction. Seed 0 is the bit
+  // pattern of +0.0, matching the scalar fold's 0.0 seed.
+  std::int64_t mx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] /= div[i];
+    const auto b =
+        static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(out[i]));
+    mx = mx > b ? mx : b;
+  }
+  return std::bit_cast<double>(static_cast<std::uint64_t>(mx));
+}
+
 }  // namespace dp::simd

@@ -36,4 +36,33 @@ void exp_batch(const double* x, double* out, std::size_t n);
 /// True when exp_batch routes to the vectorized polynomial kernel.
 bool vectorized_exp() noexcept;
 
+// --- Sweep bodies (fill / divide / max), clones-dispatched ---------------
+// The multiplier sweep around the exp call is three more elementwise
+// loops: fill the scaled-shifted exponent, divide by the level weight, and
+// reduce the chunk maximum. They live here so the same target_clones
+// SSE2/AVX2/AVX-512 dispatch (and the same -fno-trapping-math
+// -ffp-contract=off compile flags) covers the WHOLE sweep body, not just
+// the exp — and so the max reduction can use the bit-pattern integer form
+// GCC will actually vectorize (FP max reductions are blocked without
+// -ffast-math by NaN/signed-zero semantics).
+
+/// out[i] = -alpha * (x[i] - shift). In-place (out == x) is allowed.
+/// Bitwise identical to the scalar expression at any lane width: one sub
+/// and one mul per element, no contraction candidates.
+void fill_scaled_shift(const double* x, double* out, std::size_t n,
+                       double alpha, double shift);
+
+/// out[i] /= div[i]. In-place over the sweep's exp output.
+void divide_batch(double* out, const double* div, std::size_t n);
+
+/// out[i] /= div[i], returning max(0.0, max_i out[i]) — the sweep's fused
+/// divide + chunk-max. REQUIRES every quotient to be positive (here: exp
+/// output / positive level weight, never zero or negative). For positive
+/// doubles the numeric order equals the order of the bit patterns as
+/// signed 64-bit integers (sign bit clear, so patterns are in [0, 2^63)),
+/// and an integer max reduction with a 0 seed (the bit pattern of +0.0)
+/// is exactly the scalar std::max fold seeded with 0.0 — bitwise
+/// identical across lane widths, but vectorizable without -ffast-math.
+double divide_max_positive(double* out, const double* div, std::size_t n);
+
 }  // namespace dp::simd
