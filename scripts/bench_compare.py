@@ -10,7 +10,12 @@ regression; the direction is inferred from the column name:
   higher is better:  *_per_sec, speedup, *ratio*, greedy, ps, filtering,
                      sample_solve, dual_primal
   lower is better:   *seconds*, *_err, max_err, stored, frac, oracle_calls,
-                     conv_round, total_rounds, p50, p95, p99
+                     conv_round, total_rounds, p50, p95, p99,
+                     sim_rounds_ratio, bytes_per_edge, stall_share,
+                     peak_resident
+
+Exact names win over substrings, so sim_rounds_ratio gates lower-is-better
+even though generic "*ratio*" columns gate higher-is-better.
 
 Columns with no known direction (n, m, eps, ...) are treated as row keys /
 informational and never flagged.
@@ -27,11 +32,16 @@ import json
 import sys
 
 # Exact column names (short names like "ps" must not substring-match
-# parameter columns like "eps").
+# parameter columns like "eps"). Exact names take precedence over the
+# substring rules below, which is how a lower-is-better ratio column
+# ("sim_rounds_ratio": executed simulator rounds / sampling rounds) gates
+# in the right direction without flipping the higher-is-better ratio /
+# speedup columns that the substring rule serves.
 EXACT_HIGHER = {"speedup", "greedy", "ps", "filtering", "sample_solve",
                 "dual_primal"}
 EXACT_LOWER = {"stored", "frac", "max_err", "oracle_calls", "conv_round",
-               "total_rounds", "p50", "p95", "p99"}
+               "total_rounds", "p50", "p95", "p99", "sim_rounds_ratio",
+               "bytes_per_edge", "stall_share", "peak_resident"}
 # Unambiguous substrings for derived metric names.
 SUBSTR_HIGHER = ("_per_sec", "ratio")
 SUBSTR_LOWER = ("seconds", "_err")

@@ -20,7 +20,12 @@
 # finally bench_dynamic --quick (which gates the warm re-solve's value and
 # certified ratio bitwise-equal to from-scratch after a k-edge delta with
 # >= 5x fewer MW rounds and substrate passes, and refreshes
-# BENCH_dynamic.json with the rounds/pass-ratio and saved-work columns).
+# BENCH_dynamic.json with the rounds/pass-ratio and saved-work columns),
+# and bench_outofcore --quick (which gates the file-backed solve bitwise
+# identical to in-memory under a resident-edge budget smaller than the
+# file plus MapReduce round compression executing fewer simulator rounds,
+# and refreshes BENCH_outofcore.json with the bytes-per-edge, prefetch
+# hit-rate / stall-share and simulator-round-ratio columns).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -39,4 +44,5 @@ cmake --build "$BUILD_DIR" -j"$JOBS"
 "./$BUILD_DIR/bench_faults"
 "./$BUILD_DIR/bench_serve" --quick
 "./$BUILD_DIR/bench_dynamic" --quick
+"./$BUILD_DIR/bench_outofcore" --quick
 echo "check.sh: OK"

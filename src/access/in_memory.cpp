@@ -17,7 +17,7 @@ void InMemorySubstrate::multiplier_sweep(const SweepKernel& kernel) {
   const RetainedEdge* edges = table_.data();
   run_chunks(pool_, 0, table_.size(), grain_,
              [&](std::size_t, std::size_t lo, std::size_t hi) {
-               kernel(lo, hi, edges);
+               kernel(lo, hi, edges + lo);  // base-relative span
              });
 }
 

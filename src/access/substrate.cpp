@@ -1,8 +1,38 @@
 #include "access/substrate.hpp"
 
+#include <string>
+
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dp::access {
+
+void Substrate::attach_source(stream::EdgeSource source) {
+  if (source.file_backed() && !accepts_file_source()) {
+    throw ConfigError(
+        std::string("substrate '") + name() +
+            "' requires random access to the input and cannot bind a "
+            "file-backed edge source; use the streaming substrate for "
+            "out-of-core solves",
+        ErrorContext{"access.source"});
+  }
+  source_ = source;
+}
+
+void Substrate::charge_resident(std::size_t k, const char* what) {
+  meter_.hold_resident(k);
+  if (budget_ != 0 && meter_.resident_edges() > budget_) {
+    throw ConfigError(
+        std::string("memory budget exceeded: ") + what + " brings resident "
+            "edge-attribute state to " +
+            std::to_string(meter_.resident_edges()) +
+            " edge records, over the configured budget of " +
+            std::to_string(budget_) +
+            " (memory_budget_edges); use the file-backed streaming "
+            "substrate for out-of-core solves or raise the budget",
+        ErrorContext{"access.budget"});
+  }
+}
 
 void Substrate::bind(const Graph& g, const core::LevelGraph& lg,
                      ThreadPool* pool, std::size_t grain) {
@@ -15,14 +45,40 @@ void Substrate::bind(const Graph& g, const core::LevelGraph& lg,
   injector_ = FaultInjector(plan_.config);
   retry_ = plan_.retry;
 
+  if (source_.file_backed()) {
+    // The file is the pass data plane for the SAME graph the solver is
+    // running on; a mismatched file would silently desynchronize retained
+    // indices from records, so reject it up front.
+    if (source_.num_vertices() != g.num_vertices() ||
+        source_.num_edges() != g.num_edges()) {
+      throw ConfigError(
+          "file-backed edge source does not match the bound graph (file n=" +
+              std::to_string(source_.num_vertices()) + " m=" +
+              std::to_string(source_.num_edges()) + ", graph n=" +
+              std::to_string(g.num_vertices()) + " m=" +
+              std::to_string(g.num_edges()) + "): " +
+              source_.file()->path(),
+          ErrorContext{"access.source"});
+    }
+  }
+
   const std::vector<EdgeId>& retained = lg.retained();
-  table_.resize(retained.size());
-  edge_view_.resize(retained.size());
-  for (std::size_t idx = 0; idx < retained.size(); ++idx) {
-    const EdgeId e = retained[idx];
-    const Edge& edge = g.edge(e);
-    table_[idx] = RetainedEdge{e, edge.u, edge.v, edge.w, lg.level(e)};
-    edge_view_[idx] = edge;
+  retained_count_ = retained.size();
+  table_.clear();
+  edge_view_.clear();
+  if (materializes_table()) {
+    table_.resize(retained.size());
+    edge_view_.resize(retained.size());
+    for (std::size_t idx = 0; idx < retained.size(); ++idx) {
+      const EdgeId e = retained[idx];
+      const Edge& edge = g.edge(e);
+      table_[idx] = RetainedEdge{e, edge.u, edge.v, edge.w, lg.level(e)};
+      edge_view_[idx] = edge;
+    }
+    // The table and its Edge view describe one attribute record per
+    // retained edge; charge them once. This is the charge that makes an
+    // in-RAM solve over a graph bigger than the budget a typed error.
+    charge_resident(retained.size(), "retained attribute table");
   }
   on_bind();
 }

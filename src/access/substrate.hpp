@@ -23,6 +23,26 @@
 // under the O(n^{1+1/p}) memory cap) so rounds, shuffle volume and the
 // reducer cap are enforced, not just reported.
 //
+// Edge sources: bind() always receives the solve's Graph/LevelGraph (the
+// simulation harness the solver itself runs on), but the PASS DATA PLANE a
+// backend reads can be either that in-RAM graph or a binary edge file
+// (stream/edge_file), installed via attach_source(). Only backends whose
+// access discipline is genuinely sequential can serve a file-backed source
+// (accepts_file_source(): the streaming backend); attaching one to a
+// random-access backend is a typed ConfigError, never a crash. A
+// file-backed streaming substrate does NOT materialize the retained
+// attribute table — passes decode blocks through the prefetcher and
+// stored-sample attributes live in a per-round cache — so its resident
+// edge state stays o(m).
+//
+// Memory budget: set_memory_budget() caps the RESIDENT EDGE-ATTRIBUTE
+// state of the access layer — full per-edge attribute records held in
+// process memory (the materialized attribute table, IO block buffers, the
+// stored-sample attribute cache), metered via hold/release_resident in
+// edge units. Exceeding the cap is a typed ConfigError at the charge
+// point, not a silent RAM spike. The table and its Edge view describe the
+// same records and are charged once per retained edge.
+//
 // Determinism contract: every per-edge quantity is a pure function of the
 // edge's retained index and solver state, reductions are exact (min/max),
 // and the draw masks are pure functions of (seed, round, q, idx) — so for
@@ -31,10 +51,12 @@
 // substrates and across thread counts. Only the meters differ, because
 // the models count different things.
 //
-// Simulation note: backends materialize the retained-edge attribute table
-// (id, endpoints, weight, level) once at bind() as working memory of the
+// Simulation note: the solver-side Graph, LevelGraph and per-edge scalar
+// arrays (multiplier ratios, probabilities) are working memory of the
 // SIMULATION. The model's "space" is the stored-edge meter — what the
-// algorithm retains between accesses — which tests gate at o(m).
+// algorithm retains between accesses — which tests gate at o(m); the
+// budget above additionally makes the access layer's physical residency a
+// first-class, enforceable quantity.
 
 #include <cstdint>
 #include <functional>
@@ -43,6 +65,7 @@
 #include "core/sampling.hpp"
 #include "core/weight_levels.hpp"
 #include "graph/graph.hpp"
+#include "stream/edge_file.hpp"
 #include "util/accounting.hpp"
 #include "util/cancel.hpp"
 #include "util/fault.hpp"
@@ -55,8 +78,7 @@ namespace dp::access {
 
 enum class SubstrateKind { kInMemory, kStreaming, kMapReduce };
 
-/// Static attributes of one retained edge, in retained order. Materialized
-/// once per bind; the round loop never touches the Graph directly.
+/// Static attributes of one retained edge, in retained order.
 struct RetainedEdge {
   EdgeId id = 0;  // full-graph edge id
   Vertex u = 0;
@@ -66,8 +88,11 @@ struct RetainedEdge {
 };
 
 /// One access sweep's kernel: fill elementwise outputs for the retained
-/// indices [lo, hi), reading the attribute span. Must be pure per index —
-/// backends are free to split, reorder or parallelize the ranges.
+/// indices [lo, hi), reading the attribute span BASE-RELATIVE: `edges`
+/// points at the record for index `lo`, so the kernel reads
+/// edges[idx - lo]. Must be pure per index — backends are free to split,
+/// reorder or parallelize the ranges, and the file-backed pass hands each
+/// arrival a one-element span decoded from the current block (no table).
 using SweepKernel =
     std::function<void(std::size_t lo, std::size_t hi,
                        const RetainedEdge* edges)>;
@@ -83,7 +108,28 @@ class Substrate {
   virtual SubstrateKind kind() const noexcept = 0;
   virtual const char* name() const noexcept = 0;
 
-  /// Attach one solve: materialize the retained-edge attribute table and
+  /// Whether this backend's access discipline can serve a file-backed
+  /// edge source (sequential passes only). Default: no.
+  virtual bool accepts_file_source() const noexcept { return false; }
+
+  /// Install the pass data plane for subsequent solves. A default
+  /// (unattached) source means "read the bound Graph". Attaching a
+  /// file-backed source to a backend that needs random access throws
+  /// ConfigError immediately. bind() validates that a file source
+  /// describes the same graph (n, m) as the bound one.
+  void attach_source(stream::EdgeSource source);
+  const stream::EdgeSource& source() const noexcept { return source_; }
+
+  /// Cap (in edge units) on the access layer's resident edge-attribute
+  /// records; 0 = unlimited. Enforced wherever residency is charged —
+  /// table materialization at bind(), IO buffers, stored-attribute
+  /// caches — by throwing ConfigError. The solver installs
+  /// SolverOptions::memory_budget_edges here before bind().
+  void set_memory_budget(std::size_t edges) noexcept { budget_ = edges; }
+  std::size_t memory_budget() const noexcept { return budget_; }
+
+  /// Attach one solve: materialize the retained-edge attribute table
+  /// (unless this backend runs table-free, see materializes_table) and
   /// reset the per-solve accounting. `pool`/`grain` follow the solver's
   /// fixed-chunk determinism contract (outputs never depend on either).
   /// One solve drives a substrate at a time.
@@ -91,14 +137,32 @@ class Substrate {
             std::size_t grain);
 
   std::size_t num_vertices() const noexcept { return n_; }
-  std::size_t num_retained() const noexcept { return table_.size(); }
+  std::size_t num_retained() const noexcept { return retained_count_; }
 
-  /// The attribute table (retained order).
+  /// The attribute table (retained order). Empty when the backend runs
+  /// table-free (file-backed streaming); use stored_attr()/fetch_edges()
+  /// for per-index attribute access that works on every backend.
   const std::vector<RetainedEdge>& table() const noexcept { return table_; }
 
-  /// Edge-typed view of the table (same order) for code that consumes
-  /// std::vector<Edge> — e.g. the deferred-probability computation.
+  /// Edge-typed view of the table (same order). Empty when table-free.
   const std::vector<Edge>& edge_view() const noexcept { return edge_view_; }
+
+  /// Attributes of one retained index. On table-backed substrates this is
+  /// the table row; the file-backed backend serves STORED indices from its
+  /// per-round sample cache (falling back to a file record read). Valid
+  /// between a draw and the matching release_stored for stored indices;
+  /// always valid on table-backed substrates. Thread-safe.
+  virtual RetainedEdge stored_attr(std::uint32_t idx) const {
+    return table_[idx];
+  }
+
+  /// Batch-fetch edge records for retained indices (the deferred
+  /// probability stage's per-class gather). Table-backed: a copy from the
+  /// view; file-backed: random-access record reads. Thread-safe.
+  virtual void fetch_edges(const std::uint32_t* idxs, std::size_t count,
+                           Edge* out) const {
+    for (std::size_t i = 0; i < count; ++i) out[i] = edge_view_[idxs[i]];
+  }
 
   /// Model accounting for the round loop's accesses. Reset by bind().
   ResourceMeter& meter() noexcept { return meter_; }
@@ -120,14 +184,16 @@ class Substrate {
   /// Stored-union materialization: resolve stored retained indices to
   /// (full-graph id, edge) pairs for the offline re-solve. Reads only the
   /// stored sample's attributes — no new input access. Thread-safe (the
-  /// table is immutable after bind).
-  void materialize_union(const std::vector<std::uint32_t>& indices,
-                         std::vector<EdgeId>& ids,
-                         std::vector<Edge>& edges) const;
+  /// table is immutable after bind; the file backend reads immutable
+  /// mapped records).
+  virtual void materialize_union(const std::vector<std::uint32_t>& indices,
+                                 std::vector<EdgeId>& ids,
+                                 std::vector<Edge>& edges) const;
 
   /// Release the round's stored edges at the pipeline's merge point (peak
-  /// space is a per-round quantity in the paper's model).
-  void release_stored(std::size_t k) noexcept { meter_.release_edges(k); }
+  /// space is a per-round quantity in the paper's model). The file-backed
+  /// backend also drops its stored-attribute cache here.
+  virtual void release_stored(std::size_t k) { meter_.release_edges(k); }
 
   /// Install the fault-tolerance plan for subsequent solves. Injection is
   /// a backend concern: the streaming backend wires mid-pass failures, the
@@ -147,8 +213,21 @@ class Substrate {
   void set_stop(const StopCheck& stop) { stop_ = stop; }
 
  protected:
+  /// Whether bind() materializes the attribute table. The file-backed
+  /// streaming substrate overrides this to false — its passes decode
+  /// blocks on the fly and its resident state stays o(m).
+  virtual bool materializes_table() const noexcept { return true; }
+
   /// Backend hook invoked at the end of bind() (the table is ready).
   virtual void on_bind() {}
+
+  /// Charge `k` resident edge-attribute records, enforcing the budget:
+  /// over-budget is a typed ConfigError naming the holder (`what`) —
+  /// never a silent RAM spike. Balanced by uncharge_resident.
+  void charge_resident(std::size_t k, const char* what);
+  void uncharge_resident(std::size_t k) noexcept {
+    meter_.release_resident(k);
+  }
 
   /// No-fault sentinel of fault_offset_or_none.
   static constexpr std::uint64_t kNoFault = ~std::uint64_t{0};
@@ -177,8 +256,11 @@ class Substrate {
   ThreadPool* pool_ = nullptr;
   std::size_t grain_ = 2048;
   std::size_t n_ = 0;
+  std::size_t retained_count_ = 0;
   std::vector<RetainedEdge> table_;
   std::vector<Edge> edge_view_;
+  stream::EdgeSource source_;  // default: read the bound Graph
+  std::size_t budget_ = 0;     // resident-edge cap; 0 = unlimited
   ResourceMeter meter_;
   FaultPlan plan_;           // default: injection disabled
   FaultInjector injector_;   // rebuilt from plan_ at bind()

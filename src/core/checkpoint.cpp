@@ -119,6 +119,15 @@ void put_meter(std::vector<std::uint8_t>& out, const MeterSnapshot& ms) {
   put_u64(out, ms.gh_full_builds);
   put_u64(out, ms.gh_incremental);
   put_u64(out, ms.gh_tree_reuses);
+  put_u64(out, ms.saved_rounds);
+  put_u64(out, ms.saved_passes);
+  put_u64(out, ms.repaired_rows);
+  put_u64(out, ms.io_bytes);
+  put_u64(out, ms.io_stalls);
+  put_u64(out, ms.prefetch_hits);
+  put_u64(out, ms.shuffle_bytes);
+  put_u64(out, ms.resident_edges);
+  put_u64(out, ms.peak_resident);
 }
 
 MeterSnapshot get_meter(Reader& in) {
@@ -137,6 +146,15 @@ MeterSnapshot get_meter(Reader& in) {
   ms.gh_full_builds = in.u64();
   ms.gh_incremental = in.u64();
   ms.gh_tree_reuses = in.u64();
+  ms.saved_rounds = in.u64();
+  ms.saved_passes = in.u64();
+  ms.repaired_rows = in.u64();
+  ms.io_bytes = in.u64();
+  ms.io_stalls = in.u64();
+  ms.prefetch_hits = in.u64();
+  ms.shuffle_bytes = in.u64();
+  ms.resident_edges = in.u64();
+  ms.peak_resident = in.u64();
   return ms;
 }
 
@@ -158,6 +176,15 @@ MeterSnapshot MeterSnapshot::of(const ResourceMeter& meter) {
   ms.gh_full_builds = meter.gh_full_builds();
   ms.gh_incremental = meter.gh_incremental();
   ms.gh_tree_reuses = meter.gh_tree_reuses();
+  ms.saved_rounds = meter.saved_rounds();
+  ms.saved_passes = meter.saved_passes();
+  ms.repaired_rows = meter.repaired_rows();
+  ms.io_bytes = meter.io_bytes();
+  ms.io_stalls = meter.io_stalls();
+  ms.prefetch_hits = meter.prefetch_hits();
+  ms.shuffle_bytes = meter.shuffle_bytes();
+  ms.resident_edges = meter.resident_edges();
+  ms.peak_resident = meter.peak_resident_edges();
   return ms;
 }
 
@@ -175,10 +202,20 @@ void MeterSnapshot::restore_into(ResourceMeter& meter) const {
   meter.add_gh_full_builds(gh_full_builds);
   meter.add_gh_incremental(gh_incremental);
   meter.add_gh_tree_reuses(gh_tree_reuses);
+  meter.add_saved_rounds(saved_rounds);
+  meter.add_saved_passes(saved_passes);
+  meter.add_repaired_rows(repaired_rows);
+  meter.add_io_bytes(io_bytes);
+  meter.add_io_stalls(io_stalls);
+  meter.add_prefetch_hits(prefetch_hits);
+  meter.add_shuffle_bytes(shuffle_bytes);
   // Reconstruct (running stored, peak) exactly: raise to the peak, then
-  // release back down to the running count.
+  // release back down to the running count — same trick for the resident
+  // edge-attribute accounting.
   meter.store_edges(peak_edges);
   meter.release_edges(peak_edges - stored_edges);
+  meter.hold_resident(peak_resident);
+  meter.release_resident(peak_resident - resident_edges);
 }
 
 std::vector<std::uint8_t> RoundCheckpoint::serialize() const {

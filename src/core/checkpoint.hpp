@@ -48,6 +48,15 @@ struct MeterSnapshot {
   std::uint64_t gh_full_builds = 0;
   std::uint64_t gh_incremental = 0;
   std::uint64_t gh_tree_reuses = 0;
+  std::uint64_t saved_rounds = 0;
+  std::uint64_t saved_passes = 0;
+  std::uint64_t repaired_rows = 0;
+  std::uint64_t io_bytes = 0;
+  std::uint64_t io_stalls = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t shuffle_bytes = 0;
+  std::uint64_t resident_edges = 0;
+  std::uint64_t peak_resident = 0;
 
   static MeterSnapshot of(const ResourceMeter& meter);
   void restore_into(ResourceMeter& meter) const;
@@ -60,7 +69,12 @@ struct RoundCheckpoint {
   // A checkpoint cut before a delta must not silently resume against the
   // mutated graph: n/m/retained can all survive a remove+insert delta, so
   // the generation is the field that makes staleness a typed rejection.
-  static constexpr std::uint32_t kVersion = 3;
+  // v4: MeterSnapshot grew the dynamic-resolve savings (saved_rounds,
+  // saved_passes, repaired_rows) and the out-of-core counters (io_bytes,
+  // io_stalls, prefetch_hits, shuffle_bytes, resident_edges,
+  // peak_resident) — a mid-pass kill/resume on the file backend must
+  // restore its IO accounting exactly.
+  static constexpr std::uint32_t kVersion = 4;
 
   // -- Identity: the solve configuration this checkpoint belongs to. --
   std::uint64_t solver_seed = 0;

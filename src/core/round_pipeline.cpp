@@ -125,7 +125,7 @@ double RoundPipeline::open_round(const DualState& state) {
       [&state, &lg, ratio](std::size_t lo, std::size_t hi,
                            const access::RetainedEdge* edges) {
         for (std::size_t idx = lo; idx < hi; ++idx) {
-          const access::RetainedEdge& re = edges[idx];
+          const access::RetainedEdge& re = edges[idx - lo];  // base-relative
           ratio[idx] =
               state.cover_row(re.u, re.v, re.level) /
               lg.level_weight(re.level);
@@ -220,19 +220,27 @@ double RoundPipeline::stage_multipliers(double lambda, std::size_t round) {
 
   // Promise multipliers from the staged ratios: exp sweep with exact max
   // reduction, then the additive floor — buffer passes, not input access.
-  const access::RetainedEdge* edges = substrate_->table().data();
+  // Levels come from the level graph (solver state), not the attribute
+  // table, so the sweep is identical on table-free backends.
+  const EdgeId* rid = lg.retained().data();
   exp_floor_multipliers(
       pool_, options_.grain, lg, alpha, staged_min_ratio_,
       ctx_.cov_ratio.data(), m,
-      [edges](std::size_t idx) { return edges[idx].level; }, ctx_.promise,
-      ctx_.cov_partial, ctx_.divisor);
+      [&lg, rid](std::size_t idx) { return lg.level(rid[idx]); },
+      ctx_.promise, ctx_.cov_partial, ctx_.divisor);
 
-  // Inclusion probabilities (sparsify/deferred) over the substrate's
-  // edge-typed attribute view; all working memory in reusable scratch.
-  deferred_probabilities_into(substrate_->num_vertices(),
-                              substrate_->edge_view(), ctx_.promise,
-                              options_.deferred, sample_rng_.bits(round, 1),
-                              ctx_.prob, ctx_.deferred_scratch, pool_);
+  // Inclusion probabilities (sparsify/deferred), gathering each weight
+  // class's records through the substrate's batched fetch (a table-view
+  // copy on table-backed substrates, file record reads on the file-backed
+  // one); all working memory in reusable scratch.
+  access::Substrate* sub = substrate_;
+  deferred_probabilities_into(
+      substrate_->num_vertices(), m,
+      [sub](const std::uint32_t* idxs, std::size_t count, Edge* out) {
+        sub->fetch_edges(idxs, count, out);
+      },
+      ctx_.promise, options_.deferred, sample_rng_.bits(round, 1), ctx_.prob,
+      ctx_.deferred_scratch, pool_);
   return alpha;
 }
 
@@ -275,6 +283,7 @@ void RoundPipeline::stage_inner(const SamplingRound& draws, double alpha,
     // bit-filtered extraction of the round's frozen union.
     extract_sparsifier(draws, q);
     if (ctx_.ids.empty()) continue;
+    gather_stored_attrs();
     covering_us_stored(state, alpha, ctx_.u_now);
     ctx_.us.resize(ctx_.ids.size());
     run_chunks(pool_, 0, ctx_.ids.size(), options_.grain,
@@ -392,11 +401,34 @@ void RoundPipeline::merge_offline(const OfflineSolution& sol,
   }
 }
 
+void RoundPipeline::gather_stored_attrs() {
+  const std::size_t s = ctx_.store_idx.size();
+  ctx_.store_attr.resize(s);
+  const std::uint32_t* idxs = ctx_.store_idx.data();
+  access::RetainedEdge* out = ctx_.store_attr.data();
+  const std::vector<access::RetainedEdge>& table = substrate_->table();
+  if (!table.empty()) {
+    const access::RetainedEdge* rows = table.data();
+    run_chunks(pool_, 0, s, options_.grain,
+               [&](std::size_t, std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   out[i] = rows[idxs[i]];
+                 }
+               });
+  } else {
+    // Table-free (file-backed) substrate: stored_attr serves from its
+    // per-round sample cache. Serial — the stored sample is o(m), and the
+    // virtual per-index path does not belong inside pool workers.
+    for (std::size_t i = 0; i < s; ++i) {
+      out[i] = substrate_->stored_attr(idxs[i]);
+    }
+  }
+}
+
 void RoundPipeline::covering_us_stored(const DualState& state, double alpha,
                                        std::vector<double>& u) {
   const LevelGraph& lg = *lg_;
-  const access::RetainedEdge* table = substrate_->table().data();
-  const std::uint32_t* idxs = ctx_.store_idx.data();
+  const access::RetainedEdge* attr = ctx_.store_attr.data();
   const std::size_t s = ctx_.store_idx.size();
   const std::size_t grain = options_.grain;
   const std::size_t chunks = s == 0 ? 0 : (s + grain - 1) / grain;
@@ -408,7 +440,7 @@ void RoundPipeline::covering_us_stored(const DualState& state, double alpha,
              [&](std::size_t c, std::size_t lo, std::size_t hi) {
                double local_min = 1e300;
                for (std::size_t i = lo; i < hi; ++i) {
-                 const access::RetainedEdge& re = table[idxs[i]];
+                 const access::RetainedEdge& re = attr[i];
                  ratio[i] =
                      state.cover_row(re.u, re.v, re.level) /
                      lg.level_weight(re.level);
@@ -422,7 +454,7 @@ void RoundPipeline::covering_us_stored(const DualState& state, double alpha,
   }
   exp_floor_multipliers(
       pool_, grain, lg, alpha, min_ratio, ratio, s,
-      [table, idxs](std::size_t i) { return table[idxs[i]].level; }, u,
+      [attr](std::size_t i) { return attr[i].level; }, u,
       ctx_.cov_partial, ctx_.divisor);
 }
 
@@ -430,7 +462,7 @@ void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
                                        std::size_t q) {
   const std::vector<std::uint32_t>& uni = draws.union_support();
   const std::uint32_t* masks = draws.masks().data();
-  const access::RetainedEdge* table = substrate_->table().data();
+  const EdgeId* rid = lg_->retained().data();
   const std::vector<double>& prob = ctx_.prob;
   const std::size_t u_size = uni.size();
   const std::size_t grain = options_.grain;
@@ -465,7 +497,7 @@ void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
                  const std::uint32_t idx = uni[i];
                  if ((masks[idx] >> q) & 1u) {
                    sidx[cur] = idx;
-                   ids[cur] = table[idx].id;
+                   ids[cur] = rid[idx];
                    sp[cur] = prob[idx];
                    ++cur;
                  }
@@ -475,7 +507,7 @@ void RoundPipeline::extract_sparsifier(const SamplingRound& draws,
 
 void RoundPipeline::build_zeta(const DualState& state) {
   const LevelGraph& lg = *lg_;
-  const access::RetainedEdge* table = substrate_->table().data();
+  const access::RetainedEdge* attr = ctx_.store_attr.data();
   const double eps = options_.eps;
   const auto levels = static_cast<std::uint64_t>(lg.num_levels());
   const std::size_t s = ctx_.store_idx.size();
@@ -486,11 +518,10 @@ void RoundPipeline::build_zeta(const DualState& state) {
   // chunk-parallel exp sweeps (the max reduction is exact).
   ctx_.row_keys.resize(2 * s);
   std::uint64_t* row_keys = ctx_.row_keys.data();
-  const std::uint32_t* idxs = ctx_.store_idx.data();
   run_chunks(pool_, 0, s, grain,
              [&](std::size_t, std::size_t lo, std::size_t hi) {
                for (std::size_t i = lo; i < hi; ++i) {
-                 const access::RetainedEdge& re = table[idxs[i]];
+                 const access::RetainedEdge& re = attr[i];
                  const auto k = static_cast<std::uint64_t>(re.level);
                  row_keys[2 * i] =
                      static_cast<std::uint64_t>(re.u) * levels + k;

@@ -38,8 +38,9 @@
 //    edges on the substrate meter.
 //
 // Determinism contract (extending the fixed-chunk contract): OfflineResolve
-// and InnerRefine share only immutable inputs (the substrate's attribute
-// table, the frozen draw, the union support), every sweep runs on fixed
+// and InnerRefine share only immutable inputs (the substrate's immutable
+// stored-edge attributes, the frozen draw, the union support), every sweep
+// runs on fixed
 // chunks with exact (min/max) reductions, and all cross-stage effects land
 // at Merge — so the pipelined round is bitwise identical to executing the
 // same stages sequentially, for any thread count AND for any access
@@ -190,6 +191,7 @@ class RoundPipeline {
     DeferredScratch deferred_scratch;
     // InnerRefine stage.
     std::vector<std::uint32_t> store_idx;  // retained indices, per q
+    std::vector<access::RetainedEdge> store_attr;  // attributes, parallel
     std::vector<EdgeId> ids;               // full-graph ids, parallel
     std::vector<double> sample_prob;
     std::vector<double> u_now;
@@ -229,6 +231,11 @@ class RoundPipeline {
   /// Chunk-parallel extraction of sparsifier q's (store_idx, ids,
   /// sample_prob) from the frozen draw (count + exclusive scan + fill).
   void extract_sparsifier(const SamplingRound& draws, std::size_t q);
+  /// Gather the extracted sample's attribute records into ctx_.store_attr
+  /// — the one per-iteration stored-attribute access. Table-backed
+  /// substrates copy rows; the file-backed backend serves its per-round
+  /// sample cache through stored_attr().
+  void gather_stored_attrs();
   /// Chunk-parallel zeta build: packed row keys, parallel sort + merge
   /// cascade, exp sweeps with exact max reduction.
   void build_zeta(const DualState& state);

@@ -177,6 +177,7 @@ SolverResult Solver::solve_impl(const RoundCheckpoint* resume,
                                      ? options_.substrate
                                      : &default_substrate;
   substrate->set_fault_plan(options_.faults);
+  substrate->set_memory_budget(options_.memory_budget_edges);
   // Cooperative stop (util/cancel): the same poll is threaded through the
   // pipeline's stage boundaries and the substrate's pass chunks. Firing
   // raises SolveAborted at a safe point; the handlers below convert it

@@ -117,6 +117,16 @@ struct SolverOptions {
   /// substrates; only the substrate's ResourceMeter — merged into
   /// SolverResult::meter — reflects the access model's cost.
   access::Substrate* substrate = nullptr;
+  /// Cap (in edge units) on the access layer's RESIDENT edge-attribute
+  /// records — the materialized attribute table, IO block buffers, the
+  /// file backend's stored-sample cache — installed on the substrate
+  /// before bind(); 0 = unlimited. Exceeding it is a typed ConfigError at
+  /// the charge point (for an in-RAM table that is bind() itself), never a
+  /// silent RAM spike: a solve over a graph bigger than the budget must go
+  /// through the file-backed streaming substrate, whose resident state
+  /// stays o(m). Purely an admission/accounting control — it never changes
+  /// an admitted solve's result.
+  std::size_t memory_budget_edges = 0;
   /// Fault injection + retry budget, installed on the substrate before
   /// bind() (src/access wires the injection sites; the in-memory reference
   /// has none). Retries are invisible to the result — sampling masks and

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "stream/edge_file.hpp"
 #include "util/hash.hpp"
 
 namespace dp::gen {
@@ -40,11 +41,47 @@ Graph gnm(std::size_t n, std::size_t m, std::uint64_t seed) {
   Graph g(n);
   Rng rng(seed);
   fill_distinct_edges(g, m, [&] {
-    return std::pair<Vertex, Vertex>(
-        static_cast<Vertex>(rng.uniform(n)),
-        static_cast<Vertex>(rng.uniform(n)));
+    // Sequenced draws: u strictly before v. A pair-constructor call would
+    // leave the order unspecified, and gnm_to_file must replay this exact
+    // proposal sequence to produce a byte-identical file.
+    const auto u = static_cast<Vertex>(rng.uniform(n));
+    const auto v = static_cast<Vertex>(rng.uniform(n));
+    return std::pair<Vertex, Vertex>(u, v);
   });
   return g;
+}
+
+std::size_t gnm_to_file(const std::string& path, std::size_t n, std::size_t m,
+                        std::uint64_t seed, double w_lo, double w_hi,
+                        std::uint64_t weight_seed, std::size_t block_edges) {
+  const std::size_t max_m = n < 2 ? 0 : n * (n - 1) / 2;
+  if (m > max_m) {
+    throw std::invalid_argument("gnm_to_file: too many edges requested");
+  }
+  stream::EdgeFileWriter writer(
+      path, n, block_edges == 0 ? stream::kDefaultBlockEdges : block_edges);
+  // Two independent Rngs replay gnm()'s proposal sequence and
+  // weight_uniform()'s per-edge draw sequence; interleaving them is safe
+  // because the originals never share a generator. Acceptance order ==
+  // edge-id order, exactly as fill_distinct_edges builds the Graph.
+  Rng rng(seed);
+  Rng weight_rng(weight_seed);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 100 * m + 1000;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<Vertex>(rng.uniform(n));
+    const auto v = static_cast<Vertex>(rng.uniform(n));
+    if (u == v) continue;
+    if (!seen.insert(edge_key(u, v)).second) continue;
+    writer.add_edge(u, v, weight_rng.uniform_real(w_lo, w_hi));
+    ++added;
+  }
+  writer.close();
+  return added;
 }
 
 Graph gnp(std::size_t n, double p, std::uint64_t seed) {

@@ -6,6 +6,7 @@
 // topology, then apply one of the weighters.
 
 #include <cstdint>
+#include <string>
 
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
@@ -14,6 +15,20 @@ namespace dp::gen {
 
 /// Erdos-Renyi G(n, m): m distinct uniform edges.
 Graph gnm(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Stream G(n, m) with uniform [w_lo, w_hi] weights straight to a binary
+/// edge file (stream/edge_file DPEF format) WITHOUT materializing a Graph:
+/// benches use this to produce inputs larger than the solver's memory
+/// budget. Draws the exact same RNG sequences as gnm(n, m, seed) followed
+/// by weight_uniform(g, w_lo, w_hi, weight_seed), so the resulting file is
+/// byte-identical to write_edge_file() of that graph. Transient state is
+/// one 64-bit dedup key per edge plus one buffered block — never the edge
+/// records themselves. block_edges 0 means the format default. Returns the
+/// number of edges written.
+std::size_t gnm_to_file(const std::string& path, std::size_t n, std::size_t m,
+                        std::uint64_t seed, double w_lo, double w_hi,
+                        std::uint64_t weight_seed,
+                        std::size_t block_edges = 0);
 
 /// Erdos-Renyi G(n, p) via geometric skipping.
 Graph gnp(std::size_t n, double p, std::uint64_t seed);

@@ -59,4 +59,12 @@ Graph read_graph_file(const std::string& path) {
   return read_graph(is);
 }
 
+void write_edge_file(const std::string& path, const Graph& g) {
+  stream::write_edge_file(path, g);
+}
+
+Graph read_edge_file(const std::string& path) {
+  return stream::read_edge_file(path);
+}
+
 }  // namespace dp

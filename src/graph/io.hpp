@@ -1,11 +1,20 @@
 #pragma once
-// Plain-text graph I/O: whitespace-separated "u v w" lines with an optional
-// "n m" header; '#' comments allowed. Enough to round-trip experiment inputs.
+// Graph I/O.
+//
+// Two formats:
+//  - plain text ("u v w" lines with an "n m" header; '#' comments) for
+//    human-editable experiment inputs;
+//  - the binary DPEF edge-file format (stream/edge_file) — versioned,
+//    checksummed, block-structured — which is what the out-of-core solve
+//    path consumes directly via EdgeFileStream. The wrappers here are the
+//    materialized-Graph entry points; gen::gnm_to_file writes the same
+//    format without ever holding a Graph.
 
 #include <iosfwd>
 #include <string>
 
 #include "graph/graph.hpp"
+#include "stream/edge_file.hpp"
 
 namespace dp {
 
@@ -17,5 +26,11 @@ void write_graph_file(const std::string& path, const Graph& g);
 /// malformed input.
 Graph read_graph(std::istream& is);
 Graph read_graph_file(const std::string& path);
+
+/// Binary DPEF round-trip (weights as IEEE-754 bit patterns, so read after
+/// write is bitwise identical). Reading validates magic, version, exact
+/// file size and every block checksum; any defect throws CheckpointCorrupt.
+void write_edge_file(const std::string& path, const Graph& g);
+Graph read_edge_file(const std::string& path);
 
 }  // namespace dp

@@ -91,6 +91,10 @@ std::vector<KeyValue> Simulator::round(
                      attempt);
     }
   });
+  last_map_emissions_.assign(shards, 0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    last_map_emissions_[s] = mapped[s].size();
+  }
   if (meter_ != nullptr) {
     std::size_t wasted = 0;
     std::size_t faults = 0;
@@ -99,6 +103,7 @@ std::vector<KeyValue> Simulator::round(
       faults += map_faults[s];
     }
     meter_->add_messages(wasted);
+    meter_->add_shuffle_bytes(wasted * sizeof(KeyValue));
     meter_->add_faults(faults);
   }
   for (std::size_t s = 0; s < shards; ++s) {
@@ -112,7 +117,10 @@ std::vector<KeyValue> Simulator::round(
     shuffle_volume += out.size();
     for (const KeyValue& kv : out) grouped[kv.key].push_back(kv.value);
   }
-  if (meter_ != nullptr) meter_->add_messages(shuffle_volume);
+  if (meter_ != nullptr) {
+    meter_->add_messages(shuffle_volume);
+    meter_->add_shuffle_bytes(shuffle_volume * sizeof(KeyValue));
+  }
 
   if (config_.reducer_memory > 0) {
     for (const auto& [key, values] : grouped) {
@@ -173,6 +181,7 @@ std::vector<KeyValue> Simulator::round(
       faults += red_faults[i];
     }
     meter_->add_messages(refetched);
+    meter_->add_shuffle_bytes(refetched * sizeof(KeyValue));
     meter_->add_faults(faults);
   }
   for (std::size_t i = 0; i < keys.size(); ++i) {

@@ -74,7 +74,10 @@ class Simulator {
   /// * `mapper(shard, emit)` runs once per machine over its shard.
   /// * `reducer(key, values, emit)` runs once per distinct key.
   ///
-  /// Returns all reducer emissions. Counts one round and |shuffle| messages.
+  /// Returns all reducer emissions. Counts one round and |shuffle| messages
+  /// (plus the same volume in bytes — each shuffled record is one fixed
+  /// 16-byte KeyValue — via add_shuffle_bytes, including wasted and
+  /// re-fetched fault traffic).
   std::vector<KeyValue> round(
       const std::vector<KeyValue>& input,
       const std::function<void(const std::vector<KeyValue>&,
@@ -84,11 +87,19 @@ class Simulator {
 
   std::size_t rounds_executed() const noexcept { return rounds_; }
 
+  /// Per-shard emission counts of the last round's map phase (the
+  /// surviving attempt of each shard, in shard order) — the per-machine
+  /// shuffle breakdown the access layer folds into its shard meters.
+  const std::vector<std::size_t>& last_map_emissions() const noexcept {
+    return last_map_emissions_;
+  }
+
  private:
   Config config_;
   ResourceMeter* meter_;
   ThreadPool pool_;
   std::size_t rounds_ = 0;
+  std::vector<std::size_t> last_map_emissions_;
   FaultInjector injector_;  // disabled unless config.faults is set
   RetryPolicy retry_;
 };

@@ -9,20 +9,21 @@
 
 namespace dp {
 
-void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
+void deferred_probabilities_into(std::size_t n, std::size_t num_edges,
+                                 const DeferredEdgeFetch& fetch,
                                  const std::vector<double>& promise,
                                  const DeferredOptions& options,
                                  std::uint64_t seed,
                                  std::vector<double>& prob,
                                  DeferredScratch& scratch, ThreadPool* pool) {
-  if (promise.size() != edges.size()) {
+  if (promise.size() != num_edges) {
     throw std::invalid_argument("deferred_probabilities: size mismatch");
   }
   if (options.gamma < 1.0) {
     throw std::invalid_argument("deferred_probabilities: gamma must be >= 1");
   }
-  prob.assign(edges.size(), 0.0);
-  if (edges.empty() || n == 0) return;
+  prob.assign(num_edges, 0.0);
+  if (num_edges == 0 || n == 0) return;
 
   // Same per-class scheme as cut_sparsify, but probabilities computed from
   // the promise weights and inflated by gamma^2 (Lemma 17: p' computed from
@@ -32,8 +33,8 @@ void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
   // a std::map of vectors; the biased class offset keeps negative classes
   // ordered below positive ones.
   scratch.class_keys.clear();
-  scratch.class_keys.reserve(edges.size());
-  for (std::size_t e = 0; e < edges.size(); ++e) {
+  scratch.class_keys.reserve(num_edges);
+  for (std::size_t e = 0; e < num_edges; ++e) {
     if (!(promise[e] > 0)) continue;
     const int cls = static_cast<int>(std::floor(std::log2(promise[e])));
     const auto biased =
@@ -58,12 +59,18 @@ void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
            (scratch.class_keys[hi] >> 32) == cls_bits) {
       ++hi;
     }
-    scratch.class_edges.clear();
-    scratch.class_edges.reserve(hi - lo);
+    // Gather the class subgraph through the batched fetch (the vector
+    // overload's fetch is a plain indexed copy, so this path is bitwise
+    // identical to indexing the edges directly).
+    scratch.class_members.clear();
+    scratch.class_members.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) {
-      scratch.class_edges.push_back(
-          edges[scratch.class_keys[i] & 0xffffffffULL]);
+      scratch.class_members.push_back(
+          static_cast<std::uint32_t>(scratch.class_keys[i] & 0xffffffffULL));
     }
+    scratch.class_edges.resize(hi - lo);
+    fetch(scratch.class_members.data(), hi - lo,
+          scratch.class_edges.data());
     // Per-class seed is a pure function of (seed, class), so dropping or
     // adding a class never shifts the draws of the others.
     estimate_strengths_into(n, scratch.class_edges, rng.bits(cls_bits),
@@ -74,6 +81,21 @@ void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
     }
     lo = hi;
   }
+}
+
+void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
+                                 const std::vector<double>& promise,
+                                 const DeferredOptions& options,
+                                 std::uint64_t seed,
+                                 std::vector<double>& prob,
+                                 DeferredScratch& scratch, ThreadPool* pool) {
+  const Edge* base = edges.data();
+  deferred_probabilities_into(
+      n, edges.size(),
+      [base](const std::uint32_t* idxs, std::size_t count, Edge* out) {
+        for (std::size_t i = 0; i < count; ++i) out[i] = base[idxs[i]];
+      },
+      promise, options, seed, prob, scratch, pool);
 }
 
 std::vector<double> deferred_probabilities(std::size_t n,

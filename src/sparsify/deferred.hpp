@@ -16,6 +16,7 @@
 // every intermediate weight vector.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -40,9 +41,10 @@ struct DeferredOptions {
 /// Reusable buffers for deferred_probabilities_into: weight-class grouping
 /// plus the strength scratch. One instance serves any sequence of rounds.
 struct DeferredScratch {
-  std::vector<std::uint64_t> class_keys;  // packed (class, edge index)
-  std::vector<Edge> class_edges;          // per-class subgraph, reused
-  std::vector<double> class_strength;     // per-class strengths, reused
+  std::vector<std::uint64_t> class_keys;   // packed (class, edge index)
+  std::vector<std::uint32_t> class_members;  // per-class member indices
+  std::vector<Edge> class_edges;           // per-class subgraph, reused
+  std::vector<double> class_strength;      // per-class strengths, reused
   StrengthScratch strength;
 };
 
@@ -64,6 +66,27 @@ std::vector<double> deferred_probabilities(std::size_t n,
 /// strength estimation inside each class runs its per-level jobs on `pool`
 /// — so the output is bitwise identical for any thread count.
 void deferred_probabilities_into(std::size_t n, const std::vector<Edge>& edges,
+                                 const std::vector<double>& promise,
+                                 const DeferredOptions& options,
+                                 std::uint64_t seed,
+                                 std::vector<double>& prob,
+                                 DeferredScratch& scratch,
+                                 ThreadPool* pool = nullptr);
+
+/// Batched edge-record fetch: fill out[0..count) with the records of the
+/// given edge indices. The access layer's Substrate::fetch_edges matches
+/// this shape, so the probability stage can run against a backend with NO
+/// materialized per-edge vector (the file-backed streaming substrate).
+using DeferredEdgeFetch = std::function<void(
+    const std::uint32_t* idxs, std::size_t count, Edge* out)>;
+
+/// Fetch-based variant of deferred_probabilities_into: identical math and
+/// draws (the per-class subgraphs are gathered through `fetch` instead of
+/// indexed out of a vector), so the output is bitwise identical to the
+/// vector overload on the same (promise, options, seed). `num_edges` is
+/// the index-space size (== promise.size()).
+void deferred_probabilities_into(std::size_t n, std::size_t num_edges,
+                                 const DeferredEdgeFetch& fetch,
                                  const std::vector<double>& promise,
                                  const DeferredOptions& options,
                                  std::uint64_t seed,

@@ -49,7 +49,10 @@ const std::vector<EdgeId>& EdgeStream::order_for(std::uint64_t seed) const {
   // reclaimed by the unique_ptr.
   auto entry = std::make_unique<ShuffleOrder>();
   entry->seed = seed;
-  entry->order.resize(graph_->num_edges());
+  // Graph backend: permute edge ids. File backend: permute BLOCK ids, so a
+  // "shuffled" pass is still sequential IO within each block.
+  entry->order.resize(file_ != nullptr ? file_->num_blocks()
+                                       : graph_->num_edges());
   std::iota(entry->order.begin(), entry->order.end(), EdgeId{0});
   Rng rng(seed);
   rng.shuffle(entry->order);

@@ -4,6 +4,19 @@
 // o(m) state; the ResourceMeter records passes and peak stored edges so
 // tests can assert the model is respected.
 //
+// Two backends behind one pass interface:
+//  - an in-RAM Graph (the original mode): passes walk the edge vector;
+//  - a file-backed EdgeFileStream (out-of-core): passes scan DPEF blocks
+//    through the stream's double-buffered prefetcher, so a pass never
+//    holds more than two blocks of edges in memory.
+// Shuffled passes differ per backend: the Graph mode permutes EDGES, the
+// file mode permutes BLOCKS (sequential IO within each block — a full
+// per-edge permutation would defeat out-of-core streaming). Both model
+// "arbitrary arrival order"; every consumer in this library derives its
+// retained/stored sets from per-edge-id draws that are invariant to
+// arrival order, so solves are bitwise identical across backends (the
+// contract tests/test_out_of_core.cpp pins).
+//
 // Passes are templated on the callable so hot per-edge loops inline instead
 // of paying a std::function indirection per edge; the std::function
 // overloads remain for ABI users holding type-erased callbacks.
@@ -20,6 +33,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "stream/edge_file.hpp"
 #include "util/accounting.hpp"
 
 namespace dp {
@@ -31,19 +45,36 @@ class EdgeStream {
   explicit EdgeStream(const Graph& g, ResourceMeter* meter = nullptr)
       : graph_(&g), meter_(meter) {}
 
+  /// Stream over a binary edge file. The stream object must outlive this
+  /// wrapper; IO accounting goes to the meter attached to `file` itself
+  /// (set_meter), while `meter` here counts model passes.
+  explicit EdgeStream(stream::EdgeFileStream& file,
+                      ResourceMeter* meter = nullptr)
+      : file_(&file), meter_(meter) {}
+
   EdgeStream(const EdgeStream&) = delete;
   EdgeStream& operator=(const EdgeStream&) = delete;
 
   ~EdgeStream();
 
-  std::size_t num_vertices() const noexcept { return graph_->num_vertices(); }
-  std::size_t num_edges() const noexcept { return graph_->num_edges(); }
+  bool file_backed() const noexcept { return file_ != nullptr; }
+
+  std::size_t num_vertices() const noexcept {
+    return file_ != nullptr ? file_->num_vertices() : graph_->num_vertices();
+  }
+  std::size_t num_edges() const noexcept {
+    return file_ != nullptr ? file_->num_edges() : graph_->num_edges();
+  }
 
   /// One pass: invoke fn(edge) for every edge in order. Increments the pass
   /// counter. The callable is a template parameter (devirtualized).
   template <typename Fn>
   void for_each_pass(Fn&& fn) const {
     if (meter_ != nullptr) meter_->add_pass();
+    if (file_ != nullptr) {
+      file_->for_each([&fn](EdgeId, const Edge& e) { fn(e); });
+      return;
+    }
     for (const Edge& e : graph_->edges()) fn(e);
   }
 
@@ -55,19 +86,25 @@ class EdgeStream {
   template <typename Fn>
   void for_each_pass_indexed(Fn&& fn) const {
     if (meter_ != nullptr) meter_->add_pass();
+    if (file_ != nullptr) {
+      file_->for_each(fn);
+      return;
+    }
     const std::size_t m = graph_->num_edges();
     for (EdgeId e = 0; e < m; ++e) fn(e, graph_->edge(e));
   }
 
   /// One pass in a random order determined by `seed` (models adversarial /
-  /// arbitrary arrival order differing between passes). The permutation is
-  /// cached per seed as an immutable entry (repeated passes with the same
-  /// seed rebuild nothing); only the index order is materialized, never the
-  /// edges. Safe to call concurrently, including concurrent first passes.
+  /// arbitrary arrival order differing between passes). Graph backend:
+  /// per-edge permutation; file backend: per-BLOCK permutation (see file
+  /// header). The permutation is cached per seed as an immutable entry
+  /// (repeated passes with the same seed rebuild nothing); only the index
+  /// order is materialized, never the edges. Safe to call concurrently,
+  /// including concurrent first passes.
   template <typename Fn>
   void for_each_pass_shuffled(std::uint64_t seed, Fn&& fn) const {
-    if (meter_ != nullptr) meter_->add_pass();
-    for (EdgeId idx : order_for(seed)) fn(graph_->edge(idx));
+    for_each_pass_shuffled_indexed(seed,
+                                   [&fn](EdgeId, const Edge& e) { fn(e); });
   }
 
   /// Type-erased overload for callers holding a std::function.
@@ -79,13 +116,25 @@ class EdgeStream {
   template <typename Fn>
   void for_each_pass_shuffled_indexed(std::uint64_t seed, Fn&& fn) const {
     if (meter_ != nullptr) meter_->add_pass();
+    if (file_ != nullptr) {
+      const std::vector<EdgeId>& blocks = order_for(seed);
+      file_->scan_blocks(
+          blocks.data(), blocks.size(),
+          [&fn](EdgeId base, const Edge* edges, std::size_t count) {
+            for (std::size_t i = 0; i < count; ++i) {
+              fn(static_cast<EdgeId>(base + i), edges[i]);
+            }
+          });
+      return;
+    }
     for (EdgeId idx : order_for(seed)) fn(idx, graph_->edge(idx));
   }
 
   ResourceMeter* meter() const noexcept { return meter_; }
 
  private:
-  /// One immutable cached permutation. Entries are only ever prepended to
+  /// One immutable cached permutation (edge ids for the Graph backend,
+  /// block ids for the file backend). Entries are only ever prepended to
   /// the list and freed by the destructor, so readers traverse without
   /// locking (acquire loads pair with the release store publishing a new
   /// fully-built entry).
@@ -97,7 +146,8 @@ class EdgeStream {
 
   const std::vector<EdgeId>& order_for(std::uint64_t seed) const;
 
-  const Graph* graph_;
+  const Graph* graph_ = nullptr;
+  stream::EdgeFileStream* file_ = nullptr;
   ResourceMeter* meter_;
   mutable std::atomic<ShuffleOrder*> orders_{nullptr};
   mutable std::mutex order_mutex_;  // serializes permutation builds

@@ -23,6 +23,15 @@ void ResourceMeter::merge(const ResourceMeter& other) noexcept {
   saved_rounds_ += other.saved_rounds_;
   saved_passes_ += other.saved_passes_;
   repaired_rows_ += other.repaired_rows_;
+  io_bytes_ += other.io_bytes_;
+  io_stalls_ += other.io_stalls_;
+  prefetch_hits_ += other.prefetch_hits_;
+  shuffle_bytes_ += other.shuffle_bytes_;
+  resident_edges_ += other.resident_edges_;
+  if (other.peak_resident_ > peak_resident_) {
+    peak_resident_ = other.peak_resident_;
+  }
+  if (resident_edges_ > peak_resident_) peak_resident_ = resident_edges_;
 }
 
 std::string ResourceMeter::summary() const {
@@ -35,7 +44,10 @@ std::string ResourceMeter::summary() const {
      << " gh_builds=" << gh_full_builds_ << "/" << gh_incremental_ << "/"
      << gh_tree_reuses_ << " saved_rounds=" << saved_rounds_
      << " saved_passes=" << saved_passes_
-     << " repaired_rows=" << repaired_rows_;
+     << " repaired_rows=" << repaired_rows_ << " io_bytes=" << io_bytes_
+     << " io_stalls=" << io_stalls_ << " prefetch_hits=" << prefetch_hits_
+     << " shuffle_bytes=" << shuffle_bytes_
+     << " peak_resident=" << peak_resident_;
   return os.str();
 }
 

@@ -83,6 +83,35 @@ class ResourceMeter {
   void add_saved_passes(std::size_t k) noexcept { saved_passes_ += k; }
   void add_repaired_rows(std::size_t k) noexcept { repaired_rows_ += k; }
 
+  /// Out-of-core IO accounting (stream/edge_file): bytes physically read
+  /// from the edge file, pass iterations that had to WAIT for a block
+  /// (stalls), and block requests the async prefetcher had already
+  /// completed (hits). hit_rate = prefetch_hits / (prefetch_hits +
+  /// io_stalls) is the double-buffering pipeline's health signal.
+  void add_io_bytes(std::size_t k) noexcept { io_bytes_ += k; }
+  void add_io_stalls(std::size_t k = 1) noexcept { io_stalls_ += k; }
+  void add_prefetch_hits(std::size_t k = 1) noexcept { prefetch_hits_ += k; }
+
+  /// MapReduce shuffle volume in BYTES (messages counts records; each
+  /// shuffled record is a fixed-width key/value pair, so the simulator
+  /// charges bytes alongside).
+  void add_shuffle_bytes(std::size_t k) noexcept { shuffle_bytes_ += k; }
+
+  /// Resident edge-attribute state of the access layer: full per-edge
+  /// attribute records (attribute table, IO block buffers, stored-sample
+  /// attribute caches) a substrate holds in process memory, in edge units.
+  /// Distinct from store_edges (the MODEL's stored-sample space): resident
+  /// is what SolverOptions::memory_budget_edges caps — the out-of-core
+  /// backends keep it o(m) while the in-memory reference pins the whole
+  /// attribute table.
+  void hold_resident(std::size_t k) noexcept {
+    resident_edges_ += k;
+    if (resident_edges_ > peak_resident_) peak_resident_ = resident_edges_;
+  }
+  void release_resident(std::size_t k) noexcept {
+    resident_edges_ = k > resident_edges_ ? 0 : resident_edges_ - k;
+  }
+
   std::size_t rounds() const noexcept { return rounds_; }
   std::size_t passes() const noexcept { return passes_; }
   std::size_t stored_edges() const noexcept { return stored_edges_; }
@@ -100,6 +129,12 @@ class ResourceMeter {
   std::size_t saved_rounds() const noexcept { return saved_rounds_; }
   std::size_t saved_passes() const noexcept { return saved_passes_; }
   std::size_t repaired_rows() const noexcept { return repaired_rows_; }
+  std::size_t io_bytes() const noexcept { return io_bytes_; }
+  std::size_t io_stalls() const noexcept { return io_stalls_; }
+  std::size_t prefetch_hits() const noexcept { return prefetch_hits_; }
+  std::size_t shuffle_bytes() const noexcept { return shuffle_bytes_; }
+  std::size_t resident_edges() const noexcept { return resident_edges_; }
+  std::size_t peak_resident_edges() const noexcept { return peak_resident_; }
 
   void reset() noexcept { *this = ResourceMeter{}; }
 
@@ -127,6 +162,12 @@ class ResourceMeter {
   std::size_t saved_rounds_ = 0;
   std::size_t saved_passes_ = 0;
   std::size_t repaired_rows_ = 0;
+  std::size_t io_bytes_ = 0;
+  std::size_t io_stalls_ = 0;
+  std::size_t prefetch_hits_ = 0;
+  std::size_t shuffle_bytes_ = 0;
+  std::size_t resident_edges_ = 0;
+  std::size_t peak_resident_ = 0;
 };
 
 }  // namespace dp

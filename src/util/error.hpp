@@ -57,8 +57,10 @@ class SubstrateFault : public SolverError {
   using SolverError::SolverError;
 };
 
-/// A RoundCheckpoint that fails validation (bad magic/version, checksum
-/// mismatch, truncated payload). Never retried.
+/// A checksummed wire artifact that fails validation — a RoundCheckpoint
+/// or a binary edge file (stream/edge_file) with bad magic/version, a
+/// checksum mismatch, or a truncated payload. Never retried: corrupt
+/// persistent state must surface, not be re-read.
 class CheckpointCorrupt : public SolverError {
  public:
   using SolverError::SolverError;

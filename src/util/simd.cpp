@@ -70,7 +70,12 @@ inline double exp_one(double x) {
 // clones produce bitwise-identical outputs — only the lane width differs.
 // (FMA contraction is the one width-dependent value change, and it is
 // disabled here; the determinism contract therefore holds across hosts.)
-#if defined(__x86_64__) && defined(__GNUC__)
+// Under TSan the clones must be dropped: target_clones emits an ifunc
+// whose resolver runs during relocation processing, BEFORE the TSan
+// runtime initializes, which crashes at load in any binary that
+// references the dispatched symbol. The clones are bitwise-identical to
+// the default body, so the sanitized build loses no behavior.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__SANITIZE_THREAD__)
 #define DP_SIMD_CLONES \
   __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
 #else
